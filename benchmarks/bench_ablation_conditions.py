@@ -1,0 +1,80 @@
+"""Experiment A2 — ablation of the condition-checker implementations.
+
+Three independent implementations decide the paper's tight condition:
+
+* the optimized bitmask 3-reach checker (Definition 3 directly),
+* the partition checker BCS (Definition 18, Theorem 17 equivalence),
+* the literal definition transcription (``naive``), exponentially slower.
+
+The ablation times all three on the same graphs (they must agree — that *is*
+Theorem 17) and shows where each becomes practical; the timing numbers are
+the pytest-benchmark groups, the agreement table goes to the results file.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions.naive import check_three_reach_naive
+from repro.conditions.partition_conditions import check_bcs
+from repro.conditions.reach_conditions import check_three_reach
+from repro.graphs.generators import complete_digraph, figure_1a, random_digraph, two_cliques_bridged
+from repro.runner.reporting import format_table
+
+SMALL_GRAPH = random_digraph(6, 0.4, seed=21, ensure_connected=True)
+MEDIUM_GRAPH = figure_1a()
+LARGE_GRAPH = two_cliques_bridged(5, 3, 3)  # 10 nodes
+
+
+@pytest.mark.benchmark(group="conditions-small-n6")
+@pytest.mark.parametrize(
+    "checker",
+    [check_three_reach, check_bcs, check_three_reach_naive],
+    ids=["3-reach-bitmask", "BCS-partition", "naive-literal"],
+)
+def test_checker_small_graph(benchmark, checker):
+    report = benchmark(checker, SMALL_GRAPH, 1)
+    assert report.holds == check_three_reach(SMALL_GRAPH, 1).holds
+
+
+@pytest.mark.benchmark(group="conditions-figure1a")
+@pytest.mark.parametrize(
+    "checker",
+    [check_three_reach, check_bcs],
+    ids=["3-reach-bitmask", "BCS-partition"],
+)
+def test_checker_figure_1a(benchmark, checker):
+    report = benchmark(checker, MEDIUM_GRAPH, 1)
+    assert report.holds
+
+
+@pytest.mark.benchmark(group="conditions-two-cliques-n10")
+@pytest.mark.parametrize(
+    "checker",
+    [check_three_reach, check_bcs],
+    ids=["3-reach-bitmask", "BCS-partition"],
+)
+def test_checker_larger_graph(benchmark, checker):
+    report = benchmark.pedantic(checker, args=(LARGE_GRAPH, 2), rounds=1, iterations=1)
+    assert report.holds == check_three_reach(LARGE_GRAPH, 2).holds
+
+
+@pytest.mark.benchmark(group="conditions-agreement")
+def test_agreement_table(benchmark, write_result):
+    graphs = [SMALL_GRAPH, MEDIUM_GRAPH, complete_digraph(5), two_cliques_bridged(4, 2, 2)]
+
+    def evaluate():
+        rows = []
+        for graph in graphs:
+            for f in (1, 2):
+                fast = check_three_reach(graph, f).holds
+                partition = check_bcs(graph, f).holds
+                rows.append([graph.name, f, fast, partition, fast == partition])
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    write_result(
+        "ablation_condition_checkers",
+        format_table(["graph", "f", "3-reach (bitmask)", "BCS (partition)", "agree"], rows),
+    )
+    assert all(row[-1] for row in rows)

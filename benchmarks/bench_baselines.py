@@ -1,0 +1,136 @@
+"""Experiments B1 / B2 — the Byzantine-Witness algorithm versus the baselines.
+
+B1: on complete graphs (the setting of Abraham et al. [1]) compare BW with
+the clique baseline it generalizes — same guarantees, higher message cost
+(flooding over paths versus direct channels); BW's value is that it also
+works on incomplete 3-reach digraphs where the clique algorithm does not
+apply at all.
+
+B2: compare against the iterative trimmed-mean baseline (related work
+[13, 25]) and the crash-tolerant 2-reach baseline, plus the unprotected
+averaging control that a single Byzantine node destroys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.adversary import FaultPlan
+from repro.adversary.behaviors import CrashBehavior, EquivocateBehavior, FixedValueBehavior
+from repro.algorithms.base import ConsensusConfig
+from repro.algorithms.topology import TopologyKnowledge
+from repro.graphs.generators import complete_digraph, figure_1a
+from repro.runner.experiment import (
+    run_bw_experiment,
+    run_clique_experiment,
+    run_crash_experiment,
+    run_iterative_experiment,
+    run_local_average_experiment,
+)
+from repro.runner.harness import spread_inputs
+from repro.runner.reporting import format_table
+
+CLIQUE = complete_digraph(4)
+CLIQUE_TOPOLOGY = TopologyKnowledge(CLIQUE, 1, "redundant")
+CONFIG = ConsensusConfig(f=1, epsilon=0.25, input_low=0.0, input_high=1.0)
+INPUTS = spread_inputs(CLIQUE, 0.0, 1.0)
+BYZANTINE_PLAN = FaultPlan(frozenset({3}), lambda node: FixedValueBehavior(1e6))
+
+
+def _outcome_row(label, outcome):
+    return [
+        label,
+        f"{outcome.output_range:.4f}" if outcome.output_range != float("inf") else "inf",
+        "yes" if outcome.epsilon_agreement else "no",
+        "yes" if outcome.validity else "no",
+        outcome.rounds,
+        outcome.messages_delivered,
+    ]
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_clique_comparison_b1(benchmark, write_result):
+    """B1: BW vs the complete-graph baseline under the same Byzantine attack."""
+
+    def run_both():
+        bw = run_bw_experiment(CLIQUE, INPUTS, CONFIG, BYZANTINE_PLAN, seed=1,
+                               topology=CLIQUE_TOPOLOGY)
+        clique = run_clique_experiment(CLIQUE, INPUTS, CONFIG, BYZANTINE_PLAN, seed=1)
+        return bw, clique
+
+    bw, clique = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    write_result(
+        "baselines_b1_clique",
+        format_table(
+            ["algorithm", "range", "agree", "valid", "rounds", "messages"],
+            [_outcome_row("byzantine-witness", bw), _outcome_row("clique-baseline (AAD-style)", clique)],
+        ),
+    )
+    assert bw.correct and clique.correct
+    # Expected shape: both succeed; the generality of BW costs messages.
+    assert bw.messages_delivered > clique.messages_delivered
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_algorithm_zoo_b2(benchmark, write_result):
+    """B2: every algorithm in the library against the same f=1 adversary."""
+
+    def run_all():
+        rows = []
+        rows.append(("byzantine-witness", run_bw_experiment(
+            CLIQUE, INPUTS, CONFIG, BYZANTINE_PLAN, seed=2, topology=CLIQUE_TOPOLOGY)))
+        rows.append(("clique-baseline", run_clique_experiment(
+            CLIQUE, INPUTS, CONFIG, BYZANTINE_PLAN, seed=2)))
+        rows.append(("crash-tolerant (crash fault only)", run_crash_experiment(
+            CLIQUE, INPUTS, CONFIG,
+            FaultPlan(frozenset({3}), lambda node: CrashBehavior()), seed=2)))
+        rows.append(("iterative-trimmed-mean", run_iterative_experiment(
+            CLIQUE, INPUTS, CONFIG, rounds=20, faulty_nodes={3},
+            byzantine_value=lambda n, r, k, v: 1e6)))
+        rows.append(("local-average (unprotected)", run_local_average_experiment(
+            CLIQUE, INPUTS, CONFIG, rounds=10, faulty_nodes={3},
+            byzantine_value=lambda n, r, k, v: 1e6)))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    write_result(
+        "baselines_b2_zoo",
+        format_table(
+            ["algorithm", "range", "agree", "valid", "rounds", "messages"],
+            [_outcome_row(label, outcome) for label, outcome in rows],
+        ),
+    )
+    outcomes = dict(rows)
+    # Expected shape: every fault-tolerant algorithm succeeds, the unprotected
+    # control loses validity, and BW is the most message-hungry by far.
+    assert outcomes["byzantine-witness"].correct
+    assert outcomes["clique-baseline"].correct
+    assert outcomes["crash-tolerant (crash fault only)"].correct
+    assert outcomes["iterative-trimmed-mean"].correct
+    assert not outcomes["local-average (unprotected)"].validity
+    assert outcomes["byzantine-witness"].messages_delivered == max(
+        outcome.messages_delivered for outcome in outcomes.values()
+    )
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_bw_works_where_clique_baseline_does_not_apply(benchmark, write_result):
+    """The point of the generalization: an incomplete 3-reach digraph."""
+    graph = figure_1a()
+    inputs = spread_inputs(graph, 0.0, 1.0)
+    config = ConsensusConfig(f=1, epsilon=0.25, input_low=0.0, input_high=1.0,
+                             path_policy="simple")
+    plan = FaultPlan(frozenset({"v4"}), lambda node: EquivocateBehavior(default_offset=5.0))
+
+    def run():
+        return run_bw_experiment(graph, inputs, config, plan, seed=3)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "baselines_incomplete_graph",
+        format_table(
+            ["algorithm", "graph", "range", "agree", "valid", "rounds", "messages"],
+            [["byzantine-witness", graph.name] + _outcome_row("", outcome)[1:]],
+        ),
+    )
+    assert outcome.correct

@@ -1,0 +1,94 @@
+"""Experiment M1 — message / thread complexity of the Byzantine-Witness algorithm.
+
+Section 4.2 notes that the algorithm runs an exponential number of parallel
+threads and floods along (up to exponentially many) redundant paths.  The
+benchmark quantifies that cost on a family of sparse directed graphs of
+growing size: per-node threads, required flooding paths, and the messages
+actually delivered by a full protocol run, next to the per-round cost of the
+iterative baseline (one message per edge) for perspective.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.adversary import FaultPlan
+from repro.adversary.behaviors import FixedValueBehavior
+from repro.algorithms.base import ConsensusConfig
+from repro.algorithms.topology import TopologyKnowledge
+from repro.graphs.generators import clique_with_feeders, complete_digraph
+from repro.runner.experiment import run_bw_experiment
+from repro.runner.harness import spread_inputs
+from repro.runner.reporting import format_table
+
+#: (label, graph, path policy) — the redundant policy is restricted to the
+#: smallest instances, exactly because its cost is the point being measured.
+WORKLOADS = [
+    ("clique-3", complete_digraph(3), "redundant"),
+    ("clique-4", complete_digraph(4), "redundant"),
+    ("clique-5", complete_digraph(5), "simple"),
+    ("clique3+feeders2", clique_with_feeders(3, 2), "redundant"),
+    ("clique4+feeders2", clique_with_feeders(4, 2), "simple"),
+]
+
+
+def _measure(label, graph, policy):
+    topology = TopologyKnowledge(graph, 1, policy)
+    counters = topology.precompute_all()
+    inputs = spread_inputs(graph, 0.0, 1.0)
+    config = ConsensusConfig(f=1, epsilon=0.5, input_low=0.0, input_high=1.0,
+                             path_policy=policy)
+    faulty = sorted(graph.nodes, key=repr)[-1]
+    plan = FaultPlan(frozenset({faulty}), lambda node: FixedValueBehavior(100.0))
+    outcome = run_bw_experiment(graph, inputs, config, plan, seed=13, topology=topology)
+    return {
+        "label": label,
+        "n": graph.num_nodes,
+        "edges": graph.num_edges,
+        "policy": policy,
+        "threads_per_node": counters["threads"] // counters["nodes"],
+        "required_paths": counters["required_paths"],
+        "bw_messages": outcome.messages_delivered,
+        "iterative_messages_per_round": graph.num_edges,
+        "correct": outcome.correct,
+    }
+
+
+@pytest.mark.benchmark(group="complexity")
+def test_cost_growth(benchmark, write_result):
+    rows = benchmark.pedantic(
+        lambda: [_measure(*workload) for workload in WORKLOADS], rounds=1, iterations=1
+    )
+    table = [
+        [row["label"], row["n"], row["edges"], row["policy"], row["threads_per_node"],
+         row["required_paths"], row["bw_messages"], row["iterative_messages_per_round"]]
+        for row in rows
+    ]
+    write_result(
+        "complexity_growth",
+        format_table(
+            ["graph", "n", "edges", "policy", "threads/node", "required paths",
+             "BW messages (2 rounds)", "iterative msgs/round"],
+            table,
+        ),
+    )
+    assert all(row["correct"] for row in rows)
+    # Expected shape: the flooding cost grows much faster than the edge count.
+    clique3 = next(row for row in rows if row["label"] == "clique-3")
+    clique4 = next(row for row in rows if row["label"] == "clique-4")
+    assert clique4["required_paths"] > 4 * clique3["required_paths"]
+    assert clique4["bw_messages"] > clique4["iterative_messages_per_round"]
+
+
+@pytest.mark.benchmark(group="complexity")
+@pytest.mark.parametrize("n", [3, 4])
+def test_topology_precomputation_cost(benchmark, n):
+    """Time the per-experiment topology precomputation itself (redundant policy)."""
+    graph = complete_digraph(n)
+
+    def build():
+        topology = TopologyKnowledge(graph, 1, "redundant")
+        return topology.precompute_all()
+
+    counters = benchmark(build)
+    assert counters["nodes"] == n

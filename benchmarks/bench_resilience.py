@@ -1,0 +1,82 @@
+"""Experiment R1 — optimal resilience and the clique closed forms (Appendix A).
+
+On the complete graph the reach conditions collapse to counting conditions:
+1-reach ⇔ n > f, 2-reach ⇔ n > 2f, 3-reach ⇔ n > 3f.  The benchmark sweeps
+clique sizes, reports the maximum tolerable ``f`` per condition (computed by
+the general checkers) next to the closed forms, and asserts they coincide —
+the "optimal resilience" claim of the paper's title for the clique case, and
+the resilience sweep for the two-clique family of Figure 1(b).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions.clique import max_byzantine_faults_clique, max_crash_faults_clique_async
+from repro.conditions.reach_conditions import max_tolerable_f
+from repro.graphs.generators import complete_digraph, two_cliques_bridged
+from repro.runner.reporting import format_table
+
+CLIQUE_SIZES = (2, 3, 4, 5, 6, 7, 8, 9)
+
+
+def _clique_sweep():
+    rows = []
+    for n in CLIQUE_SIZES:
+        graph = complete_digraph(n)
+        rows.append(
+            {
+                "n": n,
+                "max_f_1reach": max_tolerable_f(graph, k=1, upper_bound=n - 1),
+                "max_f_2reach": max_tolerable_f(graph, k=2, upper_bound=n - 1),
+                "max_f_3reach": max_tolerable_f(graph, k=3, upper_bound=n - 1),
+                "closed_crash_async": max_crash_faults_clique_async(n),
+                "closed_byzantine": max_byzantine_faults_clique(n),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="resilience")
+def test_clique_resilience_matches_closed_forms(benchmark, write_result):
+    rows = benchmark.pedantic(_clique_sweep, rounds=1, iterations=1)
+    table = [
+        [row["n"], row["max_f_1reach"], row["max_f_2reach"], row["max_f_3reach"],
+         row["closed_crash_async"], row["closed_byzantine"]]
+        for row in rows
+    ]
+    write_result(
+        "resilience_cliques",
+        format_table(
+            ["n", "max f (1-reach)", "max f (2-reach)", "max f (3-reach)",
+             "(n-1)//2", "(n-1)//3"],
+            table,
+        ),
+    )
+    for row in rows:
+        assert row["max_f_2reach"] == row["closed_crash_async"]
+        assert row["max_f_3reach"] == row["closed_byzantine"]
+        assert row["max_f_1reach"] == row["n"] - 1
+
+
+@pytest.mark.benchmark(group="resilience")
+def test_two_clique_family_resilience(benchmark, write_result):
+    """Resilience of the Figure 1(b)-style family grows with the bridge count."""
+
+    def sweep():
+        rows = []
+        for bridges in (1, 2, 3, 4, 5):
+            graph = two_cliques_bridged(5, bridges, bridges)
+            rows.append([bridges, max_tolerable_f(graph, k=3, upper_bound=3)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result(
+        "resilience_two_cliques",
+        format_table(["bridges per direction", "max f (3-reach)"], rows),
+    )
+    tolerances = [row[1] for row in rows]
+    # More bridges never hurts, and a single bridge cannot tolerate any fault.
+    assert tolerances == sorted(tolerances)
+    assert tolerances[0] == 0
+    assert tolerances[-1] >= 1

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table / figure / claim of the paper.  Besides
+the timing numbers collected by ``pytest-benchmark``, each benchmark writes
+the regenerated table as plain text under ``benchmarks/results/`` so the
+reproduction artefacts survive the run (EXPERIMENTS.md references them).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory where benchmarks drop their regenerated tables."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def write_result(results_dir):
+    """Write (and echo) a named plain-text result artefact."""
+
+    def _write(name: str, text: str) -> str:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n[{name}]\n{text}\n")
+        return text
+
+    return _write

@@ -1,0 +1,167 @@
+"""Asynchronous crash-tolerant approximate consensus on directed graphs.
+
+Tseng and Vaidya's 2012/2015 results (Theorem 2 of the paper) show that the
+**2-reach** condition is tight for approximate consensus in asynchronous
+directed networks with up to ``f`` *crash* faults.  This module provides a
+baseline algorithm in that spirit:
+
+* each round a node floods its value along **simple** paths (crash faults
+  never lie, so path redundancy and consistency checks are unnecessary);
+* a node waits until, for *some* candidate crash set ``F_v`` with
+  ``|F_v| ≤ f``, it holds values from **every** node of ``reach_v(F_v)``
+  received over paths avoiding ``F_v``;
+* it then moves to the midpoint of the values of that reach set and starts
+  the next round, outputting after the usual ``⌊log2(K/ε)⌋ + 1`` rounds.
+
+Convergence follows the same common-witness argument as the paper's
+Lemma 15: under 2-reach any two nonfaulty nodes' kept sets share a node, and
+under crash faults every received value is genuine, so validity is immediate.
+The baseline exists (a) to reproduce the "crash / asynchronous" cell of
+Table 2 behaviourally and (b) to quantify how much cheaper tolerance of
+crash faults is compared to Byzantine faults (benchmark B2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Hashable, Mapping, Optional, Set, Tuple
+
+from repro.algorithms.base import ConsensusConfig
+from repro.algorithms.messages import ValueMessage
+from repro.algorithms.messagesets import MessageSet
+from repro.algorithms.topology import TopologyKnowledge
+from repro.conditions.reach_conditions import check_two_reach
+from repro.exceptions import InfeasibleTopologyError, ProtocolError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.paths import is_simple
+from repro.network.node import Process
+
+NodeId = Hashable
+Path = Tuple[NodeId, ...]
+FaultSet = FrozenSet[NodeId]
+
+
+class _CrashRoundState:
+    """Per-round bookkeeping: received messages and relay de-duplication."""
+
+    __slots__ = ("message_set", "relayed_paths", "advanced", "started")
+
+    def __init__(self) -> None:
+        self.message_set = MessageSet()
+        self.relayed_paths: Set[Path] = set()
+        self.advanced = False
+        self.started = False
+
+
+class CrashTolerantProcess(Process):
+    """One node of the crash-tolerant (2-reach) baseline algorithm."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        graph: DiGraph,
+        initial_value: float,
+        config: ConsensusConfig,
+        topology: Optional[TopologyKnowledge] = None,
+    ) -> None:
+        super().__init__(node_id)
+        self.graph = graph
+        self.config = config
+        if config.strict_topology_check and not check_two_reach(graph, config.f).holds:
+            raise InfeasibleTopologyError(
+                f"graph {graph.name or '<unnamed>'} does not satisfy 2-reach for f={config.f}"
+            )
+        self.initial_value = config.validate_input(initial_value)
+        self.state_value = self.initial_value
+        self.total_rounds = config.rounds_needed()
+        self.current_round = 0
+        self.value_history = [self.initial_value]
+        # The crash baseline only ever needs simple-path machinery.
+        self.topology = topology or TopologyKnowledge(graph, config.f, path_policy="simple")
+        self._rounds: Dict[int, _CrashRoundState] = {}
+
+    # ------------------------------------------------------------------
+    def _round_state(self, round_index: int) -> _CrashRoundState:
+        return self._rounds.setdefault(round_index, _CrashRoundState())
+
+    def on_start(self) -> None:
+        """Begin round 0 (or decide right away when no rounds are needed)."""
+        if self.total_rounds == 0:
+            self.decide(self.state_value)
+            return
+        self._start_round(0)
+
+    def _start_round(self, round_index: int) -> None:
+        state = self._round_state(round_index)
+        state.started = True
+        state.message_set.add(self.state_value, (self.node_id,))
+        message = ValueMessage(round=round_index, value=self.state_value, path=(self.node_id,))
+        for neighbor in sorted(self.require_context().out_neighbors, key=repr):
+            self.send(neighbor, message)
+        self._evaluate(round_index)
+
+    def on_message(self, sender: NodeId, payload: Any) -> None:
+        """Handle flooded value messages (anything else is ignored)."""
+        if not isinstance(payload, ValueMessage):
+            return
+        path = tuple(payload.path)
+        if not path or path[-1] != sender or self.node_id in path:
+            return
+        extended = path + (self.node_id,)
+        if not is_simple(extended):
+            return
+        state = self._round_state(payload.round)
+        is_new = state.message_set.add(payload.value, extended)
+        if path not in state.relayed_paths:
+            state.relayed_paths.add(path)
+            forwarded = ValueMessage(round=payload.round, value=payload.value, path=extended)
+            for neighbor in sorted(self.require_context().out_neighbors, key=repr):
+                if neighbor not in extended:
+                    self.send(neighbor, forwarded)
+        if is_new and payload.round == self.current_round:
+            self._evaluate(payload.round)
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, round_index: int) -> None:
+        if round_index != self.current_round:
+            return
+        state = self._round_state(round_index)
+        if state.advanced or not state.started:
+            return
+        for fault_set in self.topology.fault_candidates[self.node_id]:
+            reach = self.topology.reach(self.node_id, fault_set)
+            restricted = state.message_set.exclude(fault_set)
+            origins = restricted.initial_nodes()
+            if not set(reach) <= origins:
+                continue
+            values = [restricted.value_of(origin) for origin in reach]
+            state.advanced = True
+            self.state_value = (min(values) + max(values)) / 2.0
+            self.value_history.append(self.state_value)
+            self.current_round = round_index + 1
+            if self.current_round >= self.total_rounds:
+                self.decide(self.state_value)
+            else:
+                self._start_round(self.current_round)
+            return
+
+    @property
+    def rounds_completed(self) -> int:
+        """Number of completed value-update rounds."""
+        return len(self.value_history) - 1
+
+
+def create_crash_processes(
+    graph: DiGraph,
+    inputs: Mapping[NodeId, float],
+    config: ConsensusConfig,
+    topology: Optional[TopologyKnowledge] = None,
+) -> Dict[NodeId, CrashTolerantProcess]:
+    """One crash-baseline process per node, sharing topology precomputation."""
+    missing = set(graph.nodes) - set(inputs)
+    if missing:
+        raise ProtocolError(f"missing inputs for nodes {sorted(map(repr, missing))}")
+    shared = topology or TopologyKnowledge(graph, config.f, path_policy="simple")
+    return {
+        node: CrashTolerantProcess(node, graph, inputs[node], config, topology=shared)
+        for node in graph.nodes
+    }

@@ -1,0 +1,64 @@
+"""Non-fault-tolerant averaging — the "no defence" control baseline.
+
+Plain distributed averaging (each node moves to the mean of its in-neighbours
+and itself) converges beautifully without faults but is defenceless against a
+single Byzantine node, which can drag every honest value to an arbitrary
+point and destroy validity.  The convergence benchmark uses it to show what
+the Byzantine-Witness machinery is buying.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Optional
+
+from repro.algorithms.baselines.synchronous import (
+    SynchronousTrace,
+    SyncByzantineValue,
+    run_synchronous_rounds,
+)
+from repro.graphs.digraph import DiGraph
+
+NodeId = Hashable
+
+
+def mean_update(own_value: float, received: Mapping[NodeId, float]) -> float:
+    """Average of the node's own value and everything it heard this round."""
+    values = [own_value] + list(received.values())
+    return sum(values) / len(values)
+
+
+def run_local_average(
+    graph: DiGraph,
+    inputs: Mapping[NodeId, float],
+    rounds: int,
+    faulty_nodes: Iterable[NodeId] = (),
+    byzantine_value: Optional[SyncByzantineValue] = None,
+) -> SynchronousTrace:
+    """Run plain (unprotected) local averaging for a fixed number of rounds."""
+
+    def update(node: NodeId, own_value: float, received: Mapping[NodeId, float], _round: int) -> float:
+        return mean_update(own_value, received)
+
+    return run_synchronous_rounds(
+        graph,
+        inputs,
+        rounds,
+        update,
+        faulty_nodes=faulty_nodes,
+        byzantine_value=byzantine_value,
+    )
+
+
+def validity_violation(trace: SynchronousTrace, input_low: float, input_high: float) -> float:
+    """How far outside the honest input range the final honest values strayed.
+
+    Returns 0 when validity held; positive values quantify the damage a
+    Byzantine node inflicted on the unprotected baseline.
+    """
+    worst = 0.0
+    for value in trace.final_outputs().values():
+        if value < input_low:
+            worst = max(worst, input_low - value)
+        elif value > input_high:
+            worst = max(worst, value - input_high)
+    return worst

@@ -1,0 +1,470 @@
+"""The Byzantine-Witness algorithm (Algorithm 1) — the paper's contribution.
+
+Each node runs a sequence of asynchronous rounds.  Inside round ``r`` a node
+
+1. **RedundantFloods** its state value along every redundant path
+   (Algorithm 4);
+2. runs one *parallel thread* per candidate fault set ``F_v`` that waits for
+   its **Maximal-Consistency** condition — the received values, after
+   excluding paths through ``F_v``, are consistent and cover every redundant
+   path of ``G_{V\\F_v}`` ending at the node (Algorithm 1 line 10);
+3. when a thread fires it **FIFO-floods** a ``COMPLETE(F_v)`` announcement
+   carrying the consistent value map (line 11);
+4. the thread then waits for the **FIFO-Receive-All** condition — identical
+   ``COMPLETE(F_v)`` announcements from every node of ``reach_v(F_v)`` over
+   every simple path inside the reach set (line 12);
+5. **Verify** additionally demands the **Completeness** condition
+   (Algorithm 2) for every announcement received through the reach set; once
+   it holds the node runs **Filter-and-Average** (Algorithm 3) exactly once
+   for the round, obtains its next state value and moves on (lines 14-19).
+
+After ``⌊log2(K/ε)⌋ + 1`` rounds the node outputs its state value
+(Section 4.6).
+
+The implementation is event-driven on top of
+:class:`repro.network.simulator.Simulator`: every handler reacts to a single
+message delivery, which mirrors the paper's "upon receipt" pseudo-code.  The
+parallel threads are represented by per-fault-set trackers inside a
+per-round state object rather than actual threads; the shared-variable
+``nextround`` discipline of lines 15-19 becomes a plain per-round boolean
+because handlers run to completion one at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Hashable, List, Mapping, Optional, Set, Tuple
+
+from repro.algorithms.base import ConsensusConfig
+from repro.algorithms.completeness import completeness
+from repro.algorithms.filter_average import FilterResult, filter_and_average
+from repro.algorithms.messages import CompleteMessage, ValueMessage, sort_value_pairs
+from repro.algorithms.messagesets import MessageSet
+from repro.algorithms.topology import TopologyKnowledge
+from repro.conditions.reach_conditions import check_three_reach
+from repro.exceptions import InfeasibleTopologyError, ProtocolError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.paths import is_redundant, is_simple
+from repro.network.node import Process
+
+NodeId = Hashable
+Path = Tuple[NodeId, ...]
+FaultSet = FrozenSet[NodeId]
+
+
+class _ThreadTracker:
+    """Incremental state of one parallel thread (one candidate fault set).
+
+    Tracks the Maximal-Consistency ingredients: the value reported per
+    initial node on paths avoiding the candidate set (for consistency) and
+    which required paths have been received (for fullness).  Both are
+    monotone, so simple flags suffice.
+    """
+
+    __slots__ = ("fault_set", "required_paths", "received_required", "value_by_origin",
+                 "consistent", "complete_sent", "fifo_received_all")
+
+    def __init__(self, fault_set: FaultSet, required_paths: FrozenSet[Path]) -> None:
+        self.fault_set = fault_set
+        self.required_paths = required_paths
+        self.received_required: Set[Path] = set()
+        self.value_by_origin: Dict[NodeId, float] = {}
+        self.consistent = True
+        self.complete_sent = False
+        self.fifo_received_all = False
+
+    def observe(self, value: float, path: Path) -> None:
+        """Account for a newly received value message (path already ends at the node)."""
+        if self.fault_set.intersection(path):
+            return
+        origin = path[0]
+        known = self.value_by_origin.get(origin)
+        if known is None:
+            self.value_by_origin[origin] = value
+        elif known != value:
+            self.consistent = False
+        if path in self.required_paths:
+            self.received_required.add(path)
+
+    @property
+    def maximal_consistency(self) -> bool:
+        """Line 10's condition: consistent and full for ``(F_v, v)``."""
+        return self.consistent and len(self.received_required) == len(self.required_paths)
+
+
+@dataclass
+class _RoundState:
+    """Mutable per-round state of a BW node."""
+
+    round_index: int
+    message_set: MessageSet = field(default_factory=MessageSet)
+    relayed_value_paths: Set[Path] = field(default_factory=set)
+    trackers: Dict[FaultSet, _ThreadTracker] = field(default_factory=dict)
+    #: ``(origin, fault_set, path)`` → first CompleteMessage received that way.
+    complete_messages: Dict[Tuple[NodeId, FaultSet, Path], CompleteMessage] = field(default_factory=dict)
+    relayed_complete_keys: Set[Tuple[NodeId, int, Path]] = field(default_factory=set)
+    completeness_passed: Set[Tuple[NodeId, FaultSet, Tuple]] = field(default_factory=set)
+    advanced: bool = False
+    filter_result: Optional[FilterResult] = None
+    started: bool = False
+
+
+class BWProcess(Process):
+    """One node of the Byzantine-Witness protocol.
+
+    Parameters
+    ----------
+    node_id:
+        The node's identity (must match a graph node).
+    graph:
+        The communication graph (used for topology knowledge; the actual
+        sending is constrained by the simulator anyway).
+    initial_value:
+        The node's real-valued input ``x_v[0]``.
+    config:
+        Protocol parameters (``f``, ``ε``, input range, flooding policy).
+    topology:
+        Optional shared :class:`TopologyKnowledge`; computed on demand when
+        omitted (sharing one instance across nodes avoids redundant
+        precomputation).
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        graph: DiGraph,
+        initial_value: float,
+        config: ConsensusConfig,
+        topology: Optional[TopologyKnowledge] = None,
+    ) -> None:
+        super().__init__(node_id)
+        self.graph = graph
+        self.config = config
+        self.initial_value = config.validate_input(initial_value)
+        self.topology = topology or TopologyKnowledge(graph, config.f, config.path_policy)
+        if config.strict_topology_check and not check_three_reach(graph, config.f).holds:
+            raise InfeasibleTopologyError(
+                f"graph {graph.name or '<unnamed>'} does not satisfy 3-reach for f={config.f}"
+            )
+
+        self.current_round = 0
+        self.state_value = self.initial_value
+        self.total_rounds = config.rounds_needed()
+        #: state value at the beginning of each round (x_v[0], x_v[1], ...).
+        self.value_history: List[float] = [self.initial_value]
+        self._rounds: Dict[int, _RoundState] = {}
+        self._fifo_counter = 0
+        #: (origin, path ending here) → set of FIFO counters received that way.
+        self._fifo_counters_seen: Dict[Tuple[NodeId, Path], Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        """Begin round 0, or decide immediately when no rounds are needed."""
+        if self.total_rounds == 0:
+            self.decide(self.state_value)
+            return
+        self._start_round(0)
+
+    def on_message(self, sender: NodeId, payload: Any) -> None:
+        """Dispatch on the two protocol message families."""
+        if isinstance(payload, ValueMessage):
+            self._handle_value(sender, payload)
+        elif isinstance(payload, CompleteMessage):
+            self._handle_complete(sender, payload)
+        # Unknown payloads (e.g. garbage injected by a Byzantine sender) are ignored.
+
+    # ------------------------------------------------------------------
+    # round management
+    # ------------------------------------------------------------------
+    def _round_state(self, round_index: int) -> _RoundState:
+        if round_index not in self._rounds:
+            state = _RoundState(round_index=round_index)
+            for fault_set in self.topology.fault_candidates[self.node_id]:
+                state.trackers[fault_set] = _ThreadTracker(
+                    fault_set, self.topology.required_paths(self.node_id, fault_set)
+                )
+            self._rounds[round_index] = state
+        return self._rounds[round_index]
+
+    def _start_round(self, round_index: int) -> None:
+        state = self._round_state(round_index)
+        state.started = True
+        # The node's own value enters its message history on the trivial path ⟨v⟩ ...
+        self._record_value(round_index, self.state_value, (self.node_id,))
+        # ... and is RedundantFlooded to every outgoing neighbour (Algorithm 4, code for s).
+        message = ValueMessage(round=round_index, value=self.state_value, path=(self.node_id,))
+        for neighbor in sorted(self.require_context().out_neighbors, key=repr):
+            self.send(neighbor, message)
+        self._evaluate(round_index)
+
+    def _advance(self, round_index: int, filter_result: FilterResult) -> None:
+        state = self._round_state(round_index)
+        state.advanced = True
+        state.filter_result = filter_result
+        self.state_value = filter_result.new_value
+        self.value_history.append(self.state_value)
+        self.current_round = round_index + 1
+        if self.current_round >= self.total_rounds:
+            self.decide(self.state_value)
+            return
+        self._start_round(self.current_round)
+
+    # ------------------------------------------------------------------
+    # value messages (RedundantFlood)
+    # ------------------------------------------------------------------
+    def _path_policy_allows(self, path: Path) -> bool:
+        if self.config.path_policy == "simple":
+            return is_simple(path)
+        return is_redundant(path)
+
+    def _handle_value(self, sender: NodeId, message: ValueMessage) -> None:
+        path = tuple(message.path)
+        if not path or path[-1] != sender:
+            return  # propagation-path forgery that misreports the link sender
+        extended = path + (self.node_id,)
+        if not self._path_policy_allows(extended):
+            return
+        state = self._round_state(message.round)
+        is_new_path = extended not in state.message_set
+        if is_new_path:
+            self._record_value(message.round, message.value, extended)
+        # Relay rule of Algorithm 4: only the first message per propagation path
+        # is forwarded, and only towards neighbours keeping the path redundant.
+        if path not in state.relayed_value_paths:
+            state.relayed_value_paths.add(path)
+            forwarded = ValueMessage(round=message.round, value=message.value, path=extended)
+            for neighbor in sorted(self.require_context().out_neighbors, key=repr):
+                if self._path_policy_allows(extended + (neighbor,)):
+                    self.send(neighbor, forwarded)
+        if is_new_path:
+            # Maximal-Consistency keeps being monitored even for rounds this
+            # node already finished: other nodes may still be waiting for this
+            # node's COMPLETE announcements (Theorem 9 relies on every
+            # nonfaulty node eventually flooding COMPLETE(F) for the actual
+            # fault set, in every round).
+            self._maybe_flood_completes(message.round)
+            if message.round == self.current_round:
+                self._evaluate(message.round)
+
+    def _record_value(self, round_index: int, value: float, path: Path) -> None:
+        state = self._round_state(round_index)
+        if state.message_set.add(value, path):
+            for tracker in state.trackers.values():
+                tracker.observe(value, path)
+
+    # ------------------------------------------------------------------
+    # COMPLETE messages (FIFO flood)
+    # ------------------------------------------------------------------
+    def _next_fifo_counter(self) -> int:
+        self._fifo_counter += 1
+        return self._fifo_counter
+
+    def _handle_complete(self, sender: NodeId, message: CompleteMessage) -> None:
+        path = tuple(message.path)
+        if not path or path[-1] != sender:
+            return
+        if self.node_id in path:
+            return  # FIFO flooding uses simple paths only
+        extended = path + (self.node_id,)
+        state = self._round_state(message.round)
+
+        self._fifo_counters_seen.setdefault((message.origin, extended), set()).add(message.fifo_counter)
+        key = (message.origin, frozenset(message.fault_set), extended)
+        if key not in state.complete_messages:
+            state.complete_messages[key] = CompleteMessage(
+                round=message.round,
+                origin=message.origin,
+                fault_set=frozenset(message.fault_set),
+                values=message.values,
+                fifo_counter=message.fifo_counter,
+                path=extended,
+            )
+
+        relay_key = (message.origin, message.fifo_counter, path)
+        if relay_key not in state.relayed_complete_keys:
+            state.relayed_complete_keys.add(relay_key)
+            forwarded = CompleteMessage(
+                round=message.round,
+                origin=message.origin,
+                fault_set=message.fault_set,
+                values=message.values,
+                fifo_counter=message.fifo_counter,
+                path=extended,
+            )
+            for neighbor in sorted(self.require_context().out_neighbors, key=repr):
+                if neighbor not in extended:
+                    self.send(neighbor, forwarded)
+
+        if message.round == self.current_round:
+            self._evaluate(message.round)
+
+    def _fifo_received(self, origin: NodeId, path: Path, counter: int) -> bool:
+        """FIFO-Receive check of Appendix F: all earlier counters from the same
+        origin arrived on the same propagation path."""
+        if origin == self.node_id:
+            return True
+        seen = self._fifo_counters_seen.get((origin, path), set())
+        return all(previous in seen for previous in range(1, counter))
+
+    def _fifo_flood_complete(self, round_index: int, fault_set: FaultSet, values: Mapping[NodeId, float]) -> None:
+        counter = self._next_fifo_counter()
+        payload_values = sort_value_pairs(values.items())
+        message = CompleteMessage(
+            round=round_index,
+            origin=self.node_id,
+            fault_set=fault_set,
+            values=payload_values,
+            fifo_counter=counter,
+            path=(self.node_id,),
+        )
+        state = self._round_state(round_index)
+        # The node trivially "receives" its own announcement on the path ⟨v⟩.
+        state.complete_messages[(self.node_id, fault_set, (self.node_id,))] = message
+        for neighbor in sorted(self.require_context().out_neighbors, key=repr):
+            self.send(neighbor, message)
+
+    # ------------------------------------------------------------------
+    # condition evaluation (lines 10-19 of Algorithm 1)
+    # ------------------------------------------------------------------
+    def _maybe_flood_completes(self, round_index: int) -> bool:
+        """Maximal-Consistency (line 10) → FIFO-flood COMPLETE (line 11).
+
+        Evaluated for *any* round the node has started (including rounds it
+        already finished), because other nodes' FIFO-Receive-All conditions
+        wait for this node's announcements.
+        """
+        state = self._round_state(round_index)
+        if not state.started:
+            return False
+        progressed = False
+        for fault_set, tracker in state.trackers.items():
+            if tracker.complete_sent or not tracker.maximal_consistency:
+                continue
+            tracker.complete_sent = True
+            restricted = state.message_set.exclude(fault_set)
+            self._fifo_flood_complete(round_index, fault_set, restricted.value_map())
+            progressed = True
+        return progressed
+
+    def _evaluate(self, round_index: int) -> None:
+        if round_index != self.current_round:
+            return
+        state = self._round_state(round_index)
+        if state.advanced or not state.started:
+            return
+
+        progressed = True
+        while progressed and not state.advanced:
+            progressed = False
+
+            # Maximal-Consistency (line 10) → FIFO-flood COMPLETE (line 11).
+            if self._maybe_flood_completes(round_index):
+                progressed = True
+
+            # FIFO-Receive-All (line 12) per thread.
+            for fault_set, tracker in state.trackers.items():
+                if tracker.fifo_received_all or not tracker.complete_sent:
+                    continue
+                if self._fifo_receive_all_satisfied(state, fault_set):
+                    tracker.fifo_received_all = True
+                    progressed = True
+
+            # Verify (line 14 / function at line 20) → Filter-and-Average.
+            for fault_set, tracker in state.trackers.items():
+                if state.advanced:
+                    break
+                if not tracker.fifo_received_all:
+                    continue
+                if self._verify(state, fault_set):
+                    result = filter_and_average(
+                        state.message_set, self.config.f, self.node_id
+                    )
+                    self._advance(round_index, result)
+                    progressed = True
+                    break
+
+    def _fifo_receive_all_satisfied(self, state: _RoundState, fault_set: FaultSet) -> bool:
+        """Line 12: identical, FIFO-received ``COMPLETE(F_v)`` announcements from
+        every node of ``reach_v(F_v)`` over every simple path inside the reach set."""
+        paths_by_origin = self.topology.simple_paths_within_reach(self.node_id, fault_set)
+        for origin, paths in paths_by_origin.items():
+            if origin == self.node_id:
+                if not state.trackers[fault_set].complete_sent:
+                    return False
+                continue
+            contents = set()
+            for path in paths:
+                message = state.complete_messages.get((origin, fault_set, path))
+                if message is None:
+                    return False
+                if not self._fifo_received(origin, path, message.fifo_counter):
+                    return False
+                contents.add(message.content_key())
+            if len(contents) != 1:
+                return False
+        return True
+
+    def _verify(self, state: _RoundState, fault_set: FaultSet) -> bool:
+        """Function Verify (lines 20-26): Completeness for every announcement
+        FIFO-received through a simple path inside ``reach_v(F_v)``."""
+        reach = self.topology.reach(self.node_id, fault_set)
+        for (origin, announced_set, path), message in state.complete_messages.items():
+            if not set(path) <= set(reach):
+                continue
+            if not self._fifo_received(origin, path, message.fifo_counter):
+                continue
+            cache_key = (origin, announced_set, message.values)
+            if cache_key in state.completeness_passed:
+                continue
+            witness_values = message.value_map()
+            if not completeness(
+                state.message_set,
+                witness_values,
+                announced_set,
+                self.topology,
+                self.node_id,
+            ):
+                return False
+            state.completeness_passed.add(cache_key)
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection used by the experiment harness
+    # ------------------------------------------------------------------
+    @property
+    def rounds_completed(self) -> int:
+        """Number of value-update rounds completed so far."""
+        return len(self.value_history) - 1
+
+    def round_filter_result(self, round_index: int) -> Optional[FilterResult]:
+        """The Filter-and-Average outcome of a completed round (or ``None``)."""
+        state = self._rounds.get(round_index)
+        return None if state is None else state.filter_result
+
+    def __repr__(self) -> str:
+        return (
+            f"<BWProcess node={self.node_id!r} round={self.current_round}/"
+            f"{self.total_rounds} value={self.state_value:.6g} decided={self.decided}>"
+        )
+
+
+def create_bw_processes(
+    graph: DiGraph,
+    inputs: Mapping[NodeId, float],
+    config: ConsensusConfig,
+    topology: Optional[TopologyKnowledge] = None,
+) -> Dict[NodeId, BWProcess]:
+    """Instantiate one :class:`BWProcess` per graph node with shared topology.
+
+    ``inputs`` must provide a value for every node of the graph.
+    """
+    missing = set(graph.nodes) - set(inputs)
+    if missing:
+        raise ProtocolError(f"missing inputs for nodes {sorted(map(repr, missing))}")
+    shared = topology or TopologyKnowledge(graph, config.f, config.path_policy)
+    return {
+        node: BWProcess(node, graph, inputs[node], config, topology=shared)
+        for node in graph.nodes
+    }

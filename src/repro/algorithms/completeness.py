@@ -1,0 +1,113 @@
+"""The Completeness condition — Algorithm 2 of the paper.
+
+``Completeness(M_v, M_c, F_u)`` is evaluated by node ``v`` after it
+FIFO-receives an announcement ``(M_c, COMPLETE(F_u))``: for every alternative
+fault candidate ``F_w ≠ F_u`` and every node ``q`` of the source component
+``S_{F_u, F_w}``, node ``v`` must have received the value
+``value_q(M_c)`` from a set of propagation paths that cannot all be covered
+by a single fault set of size ``≤ f`` lying outside the source component.
+Intuitively: the values that the witness ``c`` vouches for must be confirmed
+at ``v`` through enough independent routes that no (suspected) fault set
+could have fabricated all of them.
+
+Interpretation note (see DESIGN.md): the covering set is additionally
+forbidden from containing the evaluating node ``v`` — every stored path
+terminates at ``v``, so a literal reading would make ``{v}`` a universal
+cover and the condition unsatisfiable, contradicting Lemma 8.  The proofs
+(Equation (1), footnote 5) indeed quantify fault candidates over
+``V \\ S \\ {v}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, Optional
+
+from repro.algorithms.messagesets import MessageSet
+from repro.algorithms.topology import TopologyKnowledge
+from repro.graphs.paths import has_f_cover
+
+NodeId = Hashable
+
+
+def completeness(
+    message_set: MessageSet,
+    witness_values: Mapping[NodeId, float],
+    witness_fault_set: Iterable[NodeId],
+    topology: TopologyKnowledge,
+    evaluating_node: NodeId,
+) -> bool:
+    """Evaluate ``Completeness(M_v, M_c, F_u)`` (Algorithm 2).
+
+    Parameters
+    ----------
+    message_set:
+        ``M_v`` — all value messages node ``v`` has received this round.
+    witness_values:
+        The consistent value map of ``M_c`` (``value_q(M_c)`` for every
+        initial node ``q`` present in the announcement).
+    witness_fault_set:
+        ``F_u`` — the suspected set of the announcement.
+    topology:
+        Shared precomputation (source components, fault-set list, ``f``).
+    evaluating_node:
+        The node ``v`` running the check (excluded from candidate covers).
+
+    Returns
+    -------
+    bool
+        ``True`` when, for every ``F_w ≠ F_u`` and every
+        ``q ∈ S_{F_u, F_w}``, the paths carrying ``value_q(M_c)`` from ``q``
+        admit **no** f-cover inside ``V \\ S_{F_u, F_w} \\ {v}``.
+    """
+    fault_set_u = frozenset(witness_fault_set)
+    f = topology.f
+    for fault_set_w in topology.fault_sets:
+        if fault_set_w == fault_set_u:
+            continue
+        component = topology.source_component(fault_set_u, fault_set_w)
+        for source_node in component:
+            if source_node not in witness_values:
+                # The witness did not vouch for this node's value: we cannot
+                # confirm it yet, so the announcement is not complete.
+                return False
+            expected = witness_values[source_node]
+            confirming_paths = message_set.paths_from_with_value(source_node, expected)
+            forbidden = set(component) | {evaluating_node}
+            if has_f_cover(confirming_paths, f, forbidden=forbidden):
+                return False
+    return True
+
+
+def completeness_deficit(
+    message_set: MessageSet,
+    witness_values: Mapping[NodeId, float],
+    witness_fault_set: Iterable[NodeId],
+    topology: TopologyKnowledge,
+    evaluating_node: NodeId,
+) -> Dict[NodeId, Optional[frozenset]]:
+    """Diagnostic variant: for every source-component node whose confirmation
+    is still coverable, report one covering set (or ``None`` for "no value in
+    the announcement at all").  Used by tests and by the examples to explain
+    *why* a node is still waiting."""
+    from repro.graphs.paths import find_f_cover
+
+    fault_set_u = frozenset(witness_fault_set)
+    f = topology.f
+    deficits: Dict[NodeId, Optional[frozenset]] = {}
+    for fault_set_w in topology.fault_sets:
+        if fault_set_w == fault_set_u:
+            continue
+        component = topology.source_component(fault_set_u, fault_set_w)
+        for source_node in component:
+            if source_node in deficits:
+                continue
+            if source_node not in witness_values:
+                deficits[source_node] = None
+                continue
+            expected = witness_values[source_node]
+            confirming_paths = message_set.paths_from_with_value(source_node, expected)
+            forbidden = set(component) | {evaluating_node}
+            cover = find_f_cover(confirming_paths, f, forbidden=forbidden)
+            if cover is not None:
+                deficits[source_node] = cover
+    return deficits

@@ -1,0 +1,177 @@
+"""Message sets and their operations (Definitions 7–9).
+
+A *message set* ``M`` is a collection of ``(value, propagation path)`` pairs.
+The Byzantine-Witness algorithm manipulates message sets through three
+operations, implemented here exactly as defined by the paper:
+
+* **exclusion** ``M|_A`` — keep only messages whose path avoids ``A``
+  (Definition 7);
+* **consistency** — all paths starting at the same initial node report the
+  same value (Definition 8), which makes ``value_v(M)`` well defined;
+* **fullness** for ``(A, v)`` — every redundant path of ``G_{V\\A}``
+  terminating at ``v`` appears in ``M`` (Definition 9).  Fullness is checked
+  against a precomputed required-path set (see
+  :class:`repro.algorithms.topology.TopologyKnowledge`).
+
+The class stores at most one message per propagation path (the protocol only
+accepts the first message received on each path, per Algorithm 4), and keeps
+the insertion cheap because the BW algorithm adds messages one at a time from
+inside an event handler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+NodeId = Hashable
+Path = Tuple[NodeId, ...]
+Entry = Tuple[float, Path]
+
+
+class MessageSet:
+    """A set of ``(value, path)`` messages keyed by propagation path."""
+
+    def __init__(self, entries: Optional[Iterable[Entry]] = None) -> None:
+        self._by_path: Dict[Path, float] = {}
+        # Per-origin index speeding up Algorithm 2's per-source-node queries.
+        self._by_origin: Dict[NodeId, List[Path]] = {}
+        if entries is not None:
+            for value, path in entries:
+                self.add(value, path)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, value: float, path: Path) -> bool:
+        """Add a message; returns ``False`` when the path was already present.
+
+        Only the first message per path is kept — the protocol ignores
+        duplicates, so a Byzantine node cannot overwrite an already-received
+        value by re-sending on the same path.
+        """
+        path = tuple(path)
+        if path in self._by_path:
+            return False
+        self._by_path[path] = float(value)
+        self._by_origin.setdefault(path[0], []).append(path)
+        return True
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._by_path)
+
+    def __iter__(self) -> Iterator[Entry]:
+        for path, value in self._by_path.items():
+            yield value, path
+
+    def __contains__(self, path: Path) -> bool:
+        return tuple(path) in self._by_path
+
+    def entries(self) -> List[Entry]:
+        """All ``(value, path)`` pairs."""
+        return [(value, path) for path, value in self._by_path.items()]
+
+    def paths(self) -> Set[Path]:
+        """``P(M)`` — the propagation paths of the set."""
+        return set(self._by_path.keys())
+
+    def value_on_path(self, path: Path) -> Optional[float]:
+        """The value received on a specific path (or ``None``)."""
+        return self._by_path.get(tuple(path))
+
+    def initial_nodes(self) -> Set[NodeId]:
+        """All nodes appearing as ``init(p)`` for some message."""
+        return {path[0] for path in self._by_path}
+
+    # ------------------------------------------------------------------
+    # Definition 7: exclusion
+    # ------------------------------------------------------------------
+    def exclude(self, excluded: Iterable[NodeId]) -> "MessageSet":
+        """``M|_A`` — messages whose propagation path avoids ``A``."""
+        excluded_set = set(excluded)
+        result = MessageSet()
+        for path, value in self._by_path.items():
+            if not excluded_set.intersection(path):
+                result.add(value, path)
+        return result
+
+    # ------------------------------------------------------------------
+    # Definition 8: consistency
+    # ------------------------------------------------------------------
+    def is_consistent(self) -> bool:
+        """``True`` when all paths sharing an initial node report one value."""
+        seen: Dict[NodeId, float] = {}
+        for path, value in self._by_path.items():
+            origin = path[0]
+            if origin in seen:
+                if seen[origin] != value:
+                    return False
+            else:
+                seen[origin] = value
+        return True
+
+    def value_of(self, origin: NodeId) -> Optional[float]:
+        """``value_origin(M)`` — the unique value reported for ``origin``.
+
+        Returns ``None`` when no message from ``origin`` is present.  The set
+        must be consistent for the notion to be meaningful; when it is not,
+        the value of the first stored path is returned (callers check
+        :meth:`is_consistent` first, as the algorithm does).
+        """
+        for path, value in self._by_path.items():
+            if path[0] == origin:
+                return value
+        return None
+
+    def value_map(self) -> Dict[NodeId, float]:
+        """``{origin: value_origin(M)}`` for every initial node present."""
+        result: Dict[NodeId, float] = {}
+        for path, value in self._by_path.items():
+            result.setdefault(path[0], value)
+        return result
+
+    # ------------------------------------------------------------------
+    # Definition 9: fullness
+    # ------------------------------------------------------------------
+    def is_full_for(self, required_paths: Iterable[Path]) -> bool:
+        """``True`` when every required path is present in the set.
+
+        ``required_paths`` is the precomputed set of (redundant or simple,
+        depending on the flooding policy) paths of ``G_{V\\A}`` terminating at
+        the evaluating node.
+        """
+        return all(tuple(path) in self._by_path for path in required_paths)
+
+    def missing_paths(self, required_paths: Iterable[Path]) -> List[Path]:
+        """The required paths not yet received (diagnostics / tests)."""
+        return [tuple(path) for path in required_paths if tuple(path) not in self._by_path]
+
+    # ------------------------------------------------------------------
+    # queries used by Completeness and Filter-and-Average
+    # ------------------------------------------------------------------
+    def paths_from_with_value(self, origin: NodeId, value: float) -> List[Path]:
+        """Paths of messages initiating at ``origin`` that carry exactly ``value``.
+
+        This is the set ``P(M')`` of Algorithm 2 line 4.
+        """
+        return [
+            path
+            for path in self._by_origin.get(origin, ())
+            if self._by_path[path] == value
+        ]
+
+    def sorted_entries(self) -> List[Entry]:
+        """Messages sorted by value (ties broken by path) — Algorithm 3 line 1."""
+        return sorted(
+            ((value, path) for path, value in self._by_path.items()),
+            key=lambda entry: (entry[0], entry[1]),
+        )
+
+    def values(self) -> List[float]:
+        """All carried values (with multiplicity, one per path)."""
+        return list(self._by_path.values())
+
+    def __repr__(self) -> str:
+        return f"<MessageSet paths={len(self._by_path)} origins={len(self.initial_nodes())}>"

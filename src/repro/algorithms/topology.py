@@ -1,0 +1,174 @@
+"""Shared topology precomputation for the Byzantine-Witness algorithm.
+
+Algorithm 1 has every node reason about *candidate fault sets*: it runs one
+parallel thread per ``F_v ⊆ V \\ {v}`` with ``|F_v| ≤ f``, checks fullness of
+its message set against all redundant paths of ``G_{V \\ F_v}`` terminating
+at itself, waits for COMPLETE announcements from every node of
+``reach_v(F_v)`` over every simple path inside that reach set, and evaluates
+the Completeness condition against source components ``S_{F_u, F_w}``.
+
+All of those objects depend only on the graph and ``f`` — not on the
+execution — so they are computed once per experiment by
+:class:`TopologyKnowledge` and shared by every process (matching the paper's
+assumption that nodes know the topology).  The structure also exposes cost
+counters (number of threads, required paths, source components) consumed by
+the message/thread-complexity benchmark (experiment M1 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+from repro.exceptions import ProtocolError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.paths import (
+    enumerate_redundant_paths_to,
+    enumerate_simple_paths_to,
+    is_fully_contained,
+)
+from repro.graphs.reach import reach_set, source_component
+from repro.conditions.reach_conditions import iter_subsets
+
+NodeId = Hashable
+Path = Tuple[NodeId, ...]
+FaultSet = FrozenSet[NodeId]
+
+#: Flooding policies supported by the algorithm.  ``"redundant"`` is the
+#: faithful policy of the paper (Algorithm 4); ``"simple"`` floods only along
+#: simple paths and exists as a documented cost/fidelity ablation.
+PATH_POLICIES = ("redundant", "simple")
+
+
+class TopologyKnowledge:
+    """Precomputed topological objects shared by every BW process.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph ``G``.
+    f:
+        Fault bound.
+    path_policy:
+        ``"redundant"`` (paper-faithful) or ``"simple"`` (cheaper ablation).
+    """
+
+    def __init__(self, graph: DiGraph, f: int, path_policy: str = "redundant") -> None:
+        if path_policy not in PATH_POLICIES:
+            raise ProtocolError(f"unknown path policy {path_policy!r}; expected one of {PATH_POLICIES}")
+        if f < 0:
+            raise ProtocolError("the fault bound f must be non-negative")
+        self.graph = graph
+        self.f = f
+        self.path_policy = path_policy
+        self.nodes: List[NodeId] = sorted(graph.nodes, key=repr)
+
+        #: every candidate fault set ``F ⊆ V`` with ``|F| ≤ f`` (used by Completeness).
+        self.fault_sets: List[FaultSet] = list(iter_subsets(self.nodes, f))
+
+        #: per node, the candidate sets ``F_v ⊆ V \ {v}`` of its parallel threads.
+        self.fault_candidates: Dict[NodeId, List[FaultSet]] = {
+            node: [fs for fs in self.fault_sets if node not in fs] for node in self.nodes
+        }
+
+        self._required_paths: Dict[Tuple[NodeId, FaultSet], FrozenSet[Path]] = {}
+        self._reach: Dict[Tuple[NodeId, FaultSet], FrozenSet[NodeId]] = {}
+        self._simple_paths_in_reach: Dict[Tuple[NodeId, FaultSet], Dict[NodeId, Tuple[Path, ...]]] = {}
+        self._source_components: Dict[FrozenSet[NodeId], FrozenSet[NodeId]] = {}
+
+    # ------------------------------------------------------------------
+    # lazily computed, memoised queries
+    # ------------------------------------------------------------------
+    def required_paths(self, node: NodeId, fault_set: FaultSet) -> FrozenSet[Path]:
+        """All flooding paths of ``G_{V \\ F}`` terminating at ``node``.
+
+        This is the path set the fullness check of the Maximal-Consistency
+        condition compares against (Definition 9).  Redundant paths under the
+        faithful policy, simple paths under the ablation policy; the trivial
+        path ``(node,)`` is always included (a node knows its own value).
+        """
+        key = (node, frozenset(fault_set))
+        if key not in self._required_paths:
+            subgraph = self.graph.exclude_nodes(key[1])
+            if self.path_policy == "redundant":
+                paths = enumerate_redundant_paths_to(subgraph, node)
+            else:
+                paths = enumerate_simple_paths_to(subgraph, node)
+            self._required_paths[key] = frozenset(paths) | {(node,)}
+        return self._required_paths[key]
+
+    def reach(self, node: NodeId, fault_set: FaultSet) -> FrozenSet[NodeId]:
+        """``reach_node(F)`` (Definition 2), memoised."""
+        key = (node, frozenset(fault_set))
+        if key not in self._reach:
+            self._reach[key] = reach_set(self.graph, node, key[1])
+        return self._reach[key]
+
+    def simple_paths_within_reach(
+        self, node: NodeId, fault_set: FaultSet
+    ) -> Dict[NodeId, Tuple[Path, ...]]:
+        """For every ``c ∈ reach_node(F)``, the simple ``(c, node)``-paths fully
+        inside ``reach_node(F)`` — the paths the FIFO-Receive-All condition
+        (Algorithm 1 line 12) waits on."""
+        key = (node, frozenset(fault_set))
+        if key not in self._simple_paths_in_reach:
+            reach = self.reach(node, fault_set)
+            subgraph = self.graph.induced_subgraph(reach)
+            per_origin: Dict[NodeId, List[Path]] = {c: [] for c in reach}
+            for path in enumerate_simple_paths_to(subgraph, node):
+                if is_fully_contained(path, reach):
+                    per_origin.setdefault(path[0], []).append(path)
+            self._simple_paths_in_reach[key] = {
+                origin: tuple(sorted(paths)) for origin, paths in per_origin.items()
+            }
+        return self._simple_paths_in_reach[key]
+
+    def source_component(self, f1: Iterable[NodeId], f2: Iterable[NodeId] = ()) -> FrozenSet[NodeId]:
+        """``S_{F1, F2}`` (Definition 6), memoised on ``F1 ∪ F2``."""
+        key = frozenset(f1) | frozenset(f2)
+        if key not in self._source_components:
+            self._source_components[key] = source_component(self.graph, key, ())
+        return self._source_components[key]
+
+    # ------------------------------------------------------------------
+    # cost accounting (benchmark M1)
+    # ------------------------------------------------------------------
+    def thread_count(self, node: NodeId) -> int:
+        """Number of parallel threads node ``node`` runs (candidate fault sets)."""
+        return len(self.fault_candidates[node])
+
+    def total_required_paths(self, node: NodeId) -> int:
+        """Total number of required flooding paths across all of a node's threads."""
+        return sum(
+            len(self.required_paths(node, fault_set))
+            for fault_set in self.fault_candidates[node]
+        )
+
+    def precompute_all(self) -> Dict[str, int]:
+        """Force every memoised structure and return aggregate size counters.
+
+        Called by experiments that want the precomputation excluded from the
+        timed section, and by the complexity benchmark that reports the
+        counters themselves.
+        """
+        total_paths = 0
+        total_threads = 0
+        for node in self.nodes:
+            total_threads += self.thread_count(node)
+            for fault_set in self.fault_candidates[node]:
+                total_paths += len(self.required_paths(node, fault_set))
+                self.simple_paths_within_reach(node, fault_set)
+        for f1 in self.fault_sets:
+            for f2 in self.fault_sets:
+                self.source_component(f1, f2)
+        return {
+            "nodes": len(self.nodes),
+            "threads": total_threads,
+            "required_paths": total_paths,
+            "source_components": len(self._source_components),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<TopologyKnowledge n={len(self.nodes)} f={self.f} "
+            f"policy={self.path_policy!r} fault_sets={len(self.fault_sets)}>"
+        )

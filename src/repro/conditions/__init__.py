@@ -1,0 +1,99 @@
+"""Topological conditions for fault-tolerant consensus in directed networks.
+
+This package implements every condition discussed by the paper:
+
+* the reach-condition family (1-reach, 2-reach, 3-reach, k-reach) of
+  Definition 3 / Definition 20, with both optimized and literal checkers;
+* Tseng–Vaidya's partition conditions CCS, CCA, BCS (Definitions 16–18);
+* the clique closed forms (n > f, n > 2f, n > 3f) of Appendix A;
+* executable Theorem 17 equivalence checks.
+
+All checkers return a :class:`~repro.conditions.certificates.ConditionReport`
+carrying a counterexample certificate when the condition is violated.
+"""
+
+from repro.conditions.certificates import (
+    ConditionReport,
+    FeasibilityRow,
+    PartitionViolation,
+    ReachViolation,
+)
+from repro.conditions.clique import (
+    clique_k_reach_closed_form,
+    clique_one_reach,
+    clique_three_reach,
+    clique_threshold,
+    clique_two_reach,
+    max_byzantine_faults_clique,
+    max_crash_faults_clique_async,
+    verify_clique_equivalence,
+)
+from repro.conditions.equivalence import (
+    EquivalenceResult,
+    all_equivalences_agree,
+    verify_all_equivalences,
+    verify_bcs_three_reach,
+    verify_cca_two_reach,
+    verify_ccs_one_reach,
+)
+from repro.conditions.naive import (
+    check_one_reach_naive,
+    check_three_reach_naive,
+    check_two_reach_naive,
+)
+from repro.conditions.partition_conditions import (
+    check_bcs,
+    check_bcs_literal,
+    check_cca,
+    check_cca_literal,
+    check_ccs,
+    check_ccs_literal,
+    has_x_incoming,
+)
+from repro.conditions.reach_conditions import (
+    check_k_reach,
+    check_one_reach,
+    check_three_reach,
+    check_two_reach,
+    count_subsets,
+    iter_subsets,
+    max_tolerable_f,
+)
+
+__all__ = [
+    "ConditionReport",
+    "FeasibilityRow",
+    "PartitionViolation",
+    "ReachViolation",
+    "clique_k_reach_closed_form",
+    "clique_one_reach",
+    "clique_three_reach",
+    "clique_threshold",
+    "clique_two_reach",
+    "max_byzantine_faults_clique",
+    "max_crash_faults_clique_async",
+    "verify_clique_equivalence",
+    "EquivalenceResult",
+    "all_equivalences_agree",
+    "verify_all_equivalences",
+    "verify_bcs_three_reach",
+    "verify_cca_two_reach",
+    "verify_ccs_one_reach",
+    "check_one_reach_naive",
+    "check_three_reach_naive",
+    "check_two_reach_naive",
+    "check_bcs",
+    "check_bcs_literal",
+    "check_cca",
+    "check_cca_literal",
+    "check_ccs",
+    "check_ccs_literal",
+    "has_x_incoming",
+    "check_k_reach",
+    "check_one_reach",
+    "check_three_reach",
+    "check_two_reach",
+    "count_subsets",
+    "iter_subsets",
+    "max_tolerable_f",
+]

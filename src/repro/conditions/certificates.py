@@ -1,0 +1,149 @@
+"""Certificates returned by the topological-condition checkers.
+
+Every checker in :mod:`repro.conditions` returns a :class:`ConditionReport`
+instead of a bare boolean so callers (tests, benchmarks, examples) can show
+*why* a condition failed: the witnessing fault sets and node pair of a
+reach-condition violation (Definition 3), or the witnessing partition of a
+CCS / CCA / BCS violation (Definitions 16–18).  The certificates also make
+the necessity construction of Theorem 18 executable: a
+:class:`ReachViolation` is precisely the data the indistinguishability
+argument needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, Optional, Tuple
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class ReachViolation:
+    """A counterexample to a k-reach condition (Definition 3 / Definition 20).
+
+    Attributes
+    ----------
+    u, v:
+        The node pair whose reach sets fail to intersect.
+    shared_fault_set:
+        The shared set ``F`` (empty for even ``k``, e.g. 2-reach).
+    fault_set_u, fault_set_v:
+        The private suspicion sets ``Fu`` / ``Fv`` (empty for 1-reach).
+    reach_u, reach_v:
+        The two disjoint reach sets, included for reporting and for driving
+        the Theorem 18 execution construction.
+    """
+
+    u: Node
+    v: Node
+    shared_fault_set: FrozenSet[Node]
+    fault_set_u: FrozenSet[Node]
+    fault_set_v: FrozenSet[Node]
+    reach_u: FrozenSet[Node]
+    reach_v: FrozenSet[Node]
+
+    def excluded_for_u(self) -> FrozenSet[Node]:
+        """``F ∪ Fu`` — the exclusion set under which ``reach_u`` was computed."""
+        return self.shared_fault_set | self.fault_set_u
+
+    def excluded_for_v(self) -> FrozenSet[Node]:
+        """``F ∪ Fv`` — the exclusion set under which ``reach_v`` was computed."""
+        return self.shared_fault_set | self.fault_set_v
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph description of the violation."""
+        return (
+            f"reach_{self.u!r}(F ∪ Fu) ∩ reach_{self.v!r}(F ∪ Fv) = ∅ with "
+            f"F={sorted(map(repr, self.shared_fault_set))}, "
+            f"Fu={sorted(map(repr, self.fault_set_u))}, "
+            f"Fv={sorted(map(repr, self.fault_set_v))}; "
+            f"|reach_u|={len(self.reach_u)}, |reach_v|={len(self.reach_v)}"
+        )
+
+
+@dataclass(frozen=True)
+class PartitionViolation:
+    """A counterexample to a partition condition (CCS / CCA / BCS).
+
+    The partition is ``(fault_set, left, center, right)`` with ``left`` and
+    ``right`` non-empty, ``|fault_set| ≤ f`` and neither side receiving enough
+    incoming neighbours from the rest of the graph.
+    """
+
+    fault_set: FrozenSet[Node]
+    left: FrozenSet[Node]
+    center: FrozenSet[Node]
+    right: FrozenSet[Node]
+    left_incoming: int
+    right_incoming: int
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph description of the violation."""
+        return (
+            f"partition violation: F={sorted(map(repr, self.fault_set))}, "
+            f"L={sorted(map(repr, self.left))} (incoming {self.left_incoming}), "
+            f"R={sorted(map(repr, self.right))} (incoming {self.right_incoming}), "
+            f"C={sorted(map(repr, self.center))}"
+        )
+
+
+@dataclass(frozen=True)
+class ConditionReport:
+    """Result of evaluating a topological condition on a graph.
+
+    Attributes
+    ----------
+    condition:
+        Condition name, e.g. ``"3-reach"`` or ``"BCS"``.
+    f:
+        The fault bound the condition was evaluated for.
+    holds:
+        ``True`` when the condition is satisfied.
+    reach_violation / partition_violation:
+        The witnessing counterexample when ``holds`` is ``False`` (at most one
+        of the two is populated, depending on the checker family).
+    checks_performed:
+        Number of elementary checks the checker executed (intersection tests
+        or candidate partitions) — reported by the complexity benchmarks.
+    """
+
+    condition: str
+    f: int
+    holds: bool
+    reach_violation: Optional[ReachViolation] = None
+    partition_violation: Optional[PartitionViolation] = None
+    checks_performed: int = 0
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    @property
+    def violation(self):
+        """Whichever violation certificate is present (or ``None``)."""
+        return self.reach_violation or self.partition_violation
+
+    def describe(self) -> str:
+        """Human-readable summary used by examples and benchmark output."""
+        status = "HOLDS" if self.holds else "VIOLATED"
+        text = f"{self.condition} (f={self.f}): {status}"
+        if self.violation is not None:
+            text += f"\n  {self.violation.describe()}"
+        return text
+
+
+@dataclass(frozen=True)
+class FeasibilityRow:
+    """One row of a regenerated Table 1 / Table 2: a graph and its verdicts."""
+
+    graph_name: str
+    n: int
+    f: int
+    verdicts: Tuple[Tuple[str, bool], ...] = field(default_factory=tuple)
+
+    def verdict(self, condition: str) -> Optional[bool]:
+        """Verdict for a named condition, or ``None`` when not evaluated."""
+        for name, value in self.verdicts:
+            if name == condition:
+                return value
+        return None

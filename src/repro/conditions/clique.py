@@ -1,0 +1,89 @@
+"""Clique specializations of the reach conditions (Appendix A).
+
+In a complete graph the reach conditions collapse to the classical counting
+conditions:
+
+* 1-reach  ⇔  n > f
+* 2-reach  ⇔  n > 2f
+* 3-reach  ⇔  n > 3f
+* k-reach  ⇔  n > k·f   (following the Definition 20 budget reading)
+
+These closed forms are used by the resilience benchmark (experiment R1 in
+DESIGN.md) and cross-checked against the general checkers by the test-suite,
+which is precisely the consistency statement of Appendix A.
+"""
+
+from __future__ import annotations
+
+from repro.conditions.reach_conditions import check_k_reach
+from repro.exceptions import InvalidFaultBoundError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import complete_digraph
+from repro.graphs.properties import is_complete
+
+
+def clique_threshold(k: int) -> int:
+    """The multiplier ``k`` such that k-reach on a clique means ``n > k·f``."""
+    if k < 1:
+        raise InvalidFaultBoundError(k)
+    return k
+
+
+def clique_k_reach_closed_form(n: int, f: int, k: int) -> bool:
+    """Closed-form k-reach verdict for the ``n``-clique: ``n > k·f``."""
+    if n < 1:
+        raise InvalidFaultBoundError(n)
+    if f < 0:
+        raise InvalidFaultBoundError(f)
+    if k < 1:
+        raise InvalidFaultBoundError(k)
+    return n > k * f
+
+
+def clique_one_reach(n: int, f: int) -> bool:
+    """Closed-form 1-reach for a clique: ``n > f``."""
+    return clique_k_reach_closed_form(n, f, 1)
+
+
+def clique_two_reach(n: int, f: int) -> bool:
+    """Closed-form 2-reach for a clique: ``n > 2f``."""
+    return clique_k_reach_closed_form(n, f, 2)
+
+
+def clique_three_reach(n: int, f: int) -> bool:
+    """Closed-form 3-reach for a clique: ``n > 3f`` — optimal Byzantine resilience."""
+    return clique_k_reach_closed_form(n, f, 3)
+
+
+def max_byzantine_faults_clique(n: int) -> int:
+    """Optimal Byzantine resilience of the ``n``-clique: ``⌈n/3⌉ - 1``."""
+    if n < 1:
+        raise InvalidFaultBoundError(n)
+    return (n - 1) // 3
+
+
+def max_crash_faults_clique_async(n: int) -> int:
+    """Optimal asynchronous crash resilience of the ``n``-clique: ``⌈n/2⌉ - 1``."""
+    if n < 1:
+        raise InvalidFaultBoundError(n)
+    return (n - 1) // 2
+
+
+def verify_clique_equivalence(n: int, f: int, k: int) -> bool:
+    """Check that the general k-reach checker agrees with the closed form on
+    the ``n``-clique (the Appendix A equivalence); used by tests and the
+    resilience benchmark.
+
+    The equivalence is stated for the non-degenerate regime ``n > f`` (with
+    ``n ≤ f`` every node may be faulty and the reach conditions hold
+    vacuously); a :class:`ValueError` is raised outside that regime.
+    """
+    if n <= f:
+        raise ValueError(
+            f"the clique equivalence is stated for n > f (got n={n}, f={f})"
+        )
+    graph: DiGraph = complete_digraph(n)
+    assert is_complete(graph)
+    general = check_k_reach(graph, f, k).holds
+    closed = clique_k_reach_closed_form(n, f, k)
+    return general == closed

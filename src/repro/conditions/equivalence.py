@@ -1,0 +1,90 @@
+"""Theorem 17 — the equivalences CCS⇔1-reach, CCA⇔2-reach, BCS⇔3-reach.
+
+The paper proves that its reach-condition family is equivalent to Tseng and
+Vaidya's partition conditions.  This module provides executable versions of
+that statement: each function evaluates both sides on a concrete graph and
+reports whether they agree.  The Table 2 benchmark sweeps these over random
+and structured graph families (an empirical replication of Theorem 17), and
+the test-suite uses them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.conditions.certificates import ConditionReport
+from repro.conditions.partition_conditions import check_bcs, check_cca, check_ccs
+from repro.conditions.reach_conditions import (
+    check_one_reach,
+    check_three_reach,
+    check_two_reach,
+)
+from repro.graphs.digraph import DiGraph
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    """Verdicts of a reach condition and its partition counterpart on one graph."""
+
+    pair: str
+    f: int
+    reach_report: ConditionReport
+    partition_report: ConditionReport
+
+    @property
+    def agree(self) -> bool:
+        """``True`` when both formulations give the same verdict (Theorem 17)."""
+        return self.reach_report.holds == self.partition_report.holds
+
+    def describe(self) -> str:
+        """One-line summary used by the Table 2 benchmark output."""
+        return (
+            f"{self.pair} (f={self.f}): reach={self.reach_report.holds} "
+            f"partition={self.partition_report.holds} "
+            f"{'AGREE' if self.agree else 'DISAGREE'}"
+        )
+
+
+def verify_ccs_one_reach(graph: DiGraph, f: int) -> EquivalenceResult:
+    """Theorem 17(a): CCS ⇔ 1-reach."""
+    return EquivalenceResult(
+        pair="CCS⇔1-reach",
+        f=f,
+        reach_report=check_one_reach(graph, f),
+        partition_report=check_ccs(graph, f),
+    )
+
+
+def verify_cca_two_reach(graph: DiGraph, f: int) -> EquivalenceResult:
+    """Theorem 17(b): CCA ⇔ 2-reach."""
+    return EquivalenceResult(
+        pair="CCA⇔2-reach",
+        f=f,
+        reach_report=check_two_reach(graph, f),
+        partition_report=check_cca(graph, f),
+    )
+
+
+def verify_bcs_three_reach(graph: DiGraph, f: int) -> EquivalenceResult:
+    """Theorem 17(c): BCS ⇔ 3-reach."""
+    return EquivalenceResult(
+        pair="BCS⇔3-reach",
+        f=f,
+        reach_report=check_three_reach(graph, f),
+        partition_report=check_bcs(graph, f),
+    )
+
+
+def verify_all_equivalences(graph: DiGraph, f: int) -> Tuple[EquivalenceResult, ...]:
+    """Evaluate all three Theorem 17 equivalences on one graph."""
+    return (
+        verify_ccs_one_reach(graph, f),
+        verify_cca_two_reach(graph, f),
+        verify_bcs_three_reach(graph, f),
+    )
+
+
+def all_equivalences_agree(graph: DiGraph, f: int) -> bool:
+    """``True`` when every Theorem 17 equivalence holds on ``graph``."""
+    return all(result.agree for result in verify_all_equivalences(graph, f))

@@ -1,0 +1,136 @@
+"""Literal, definition-by-definition reach-condition checkers.
+
+These are straight transcriptions of Definition 3 using the set-based
+``reach_set`` helper of :mod:`repro.graphs.reach`, with no bitmask tricks and
+no enumeration shortcuts.  They are exponentially slower than the checkers in
+:mod:`repro.conditions.reach_conditions` and exist for one purpose: serving
+as an independent oracle in the test-suite (and in the condition-checker
+ablation benchmark) so that the optimized implementations can be validated
+against the paper's text on small graphs.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from repro.conditions.certificates import ConditionReport, ReachViolation
+from repro.conditions.reach_conditions import iter_subsets
+from repro.exceptions import InvalidFaultBoundError
+from repro.graphs.digraph import DiGraph, Node
+from repro.graphs.reach import reach_set
+
+
+def _validate(graph: DiGraph, f: int) -> None:
+    if not isinstance(f, int) or f < 0:
+        raise InvalidFaultBoundError(f)
+    if graph.num_nodes == 0:
+        raise InvalidFaultBoundError("cannot evaluate conditions on an empty graph")
+
+
+def _violation(
+    u: Node,
+    v: Node,
+    shared: FrozenSet[Node],
+    fu: FrozenSet[Node],
+    fv: FrozenSet[Node],
+    reach_u: FrozenSet[Node],
+    reach_v: FrozenSet[Node],
+) -> ReachViolation:
+    return ReachViolation(
+        u=u,
+        v=v,
+        shared_fault_set=shared,
+        fault_set_u=fu,
+        fault_set_v=fv,
+        reach_u=reach_u,
+        reach_v=reach_v,
+    )
+
+
+def check_one_reach_naive(graph: DiGraph, f: int) -> ConditionReport:
+    """Literal 1-reach check: every ``F`` with ``|F| ≤ f``, every pair outside ``F``."""
+    _validate(graph, f)
+    nodes = graph.nodes
+    checks = 0
+    for shared in iter_subsets(nodes, f):
+        outside = [node for node in nodes if node not in shared]
+        reaches = {node: reach_set(graph, node, shared) for node in outside}
+        for i, u in enumerate(outside):
+            for v in outside[i + 1:]:
+                checks += 1
+                if not (reaches[u] & reaches[v]):
+                    return ConditionReport(
+                        condition="1-reach",
+                        f=f,
+                        holds=False,
+                        reach_violation=_violation(
+                            u, v, frozenset(shared), frozenset(), frozenset(),
+                            reaches[u], reaches[v],
+                        ),
+                        checks_performed=checks,
+                    )
+    return ConditionReport(condition="1-reach", f=f, holds=True, checks_performed=checks)
+
+
+def check_two_reach_naive(graph: DiGraph, f: int) -> ConditionReport:
+    """Literal 2-reach check: every pair ``u, v`` and every ``Fu ∌ u``, ``Fv ∌ v``."""
+    _validate(graph, f)
+    nodes = graph.nodes
+    checks = 0
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1:]:
+            for fu in iter_subsets([x for x in nodes if x != u], f):
+                reach_u = reach_set(graph, u, fu)
+                for fv in iter_subsets([x for x in nodes if x != v], f):
+                    checks += 1
+                    reach_v = reach_set(graph, v, fv)
+                    if not (reach_u & reach_v):
+                        return ConditionReport(
+                            condition="2-reach",
+                            f=f,
+                            holds=False,
+                            reach_violation=_violation(
+                                u, v, frozenset(), frozenset(fu), frozenset(fv),
+                                reach_u, reach_v,
+                            ),
+                            checks_performed=checks,
+                        )
+    return ConditionReport(condition="2-reach", f=f, holds=True, checks_performed=checks)
+
+
+def check_three_reach_naive(graph: DiGraph, f: int) -> ConditionReport:
+    """Literal 3-reach check: every ``F``, ``Fu``, ``Fv`` and pair ``u, v``
+    with ``u ∉ F ∪ Fu`` and ``v ∉ F ∪ Fv``."""
+    _validate(graph, f)
+    nodes = graph.nodes
+    checks = 0
+    for shared in iter_subsets(nodes, f):
+        for i, u in enumerate(nodes):
+            if u in shared:
+                continue
+            for v in nodes[i + 1:]:
+                if v in shared:
+                    continue
+                for fu in iter_subsets([x for x in nodes if x != u], f):
+                    excluded_u = frozenset(shared) | frozenset(fu)
+                    if u in excluded_u:
+                        continue
+                    reach_u = reach_set(graph, u, excluded_u)
+                    for fv in iter_subsets([x for x in nodes if x != v], f):
+                        excluded_v = frozenset(shared) | frozenset(fv)
+                        if v in excluded_v:
+                            continue
+                        checks += 1
+                        reach_v = reach_set(graph, v, excluded_v)
+                        if not (reach_u & reach_v):
+                            return ConditionReport(
+                                condition="3-reach",
+                                f=f,
+                                holds=False,
+                                reach_violation=_violation(
+                                    u, v, frozenset(shared), frozenset(fu), frozenset(fv),
+                                    reach_u, reach_v,
+                                ),
+                                checks_performed=checks,
+                            )
+    return ConditionReport(condition="3-reach", f=f, holds=True, checks_performed=checks)

@@ -1,0 +1,340 @@
+"""The partition conditions CCS, CCA and BCS (Definitions 16–18, Appendix A).
+
+Tseng and Vaidya's original characterizations are phrased over partitions of
+the node set:
+
+* **CCS** (crash, synchronous):  for every partition ``F, L, C, R`` with
+  ``L, R ≠ ∅`` and ``|F| ≤ f``: ``L ∪ C →¹ R`` or ``R ∪ C →¹ L``.
+* **CCA** (crash, asynchronous): for every partition ``L, C, R`` with
+  ``L, R ≠ ∅``: ``L ∪ C →^{f+1} R`` or ``R ∪ C →^{f+1} L``.
+* **BCS** (Byzantine, synchronous — and, by the paper's main theorem, also
+  Byzantine asynchronous): for every partition ``F, L, C, R`` with
+  ``L, R ≠ ∅`` and ``|F| ≤ f``: ``L ∪ C →^{f+1} R`` or ``R ∪ C →^{f+1} L``.
+
+``A →^x B`` means ``B`` has at least ``x`` distinct incoming neighbours inside
+``A`` (Definition 14).
+
+Checkers here avoid the naive enumeration of all 4-way partitions by using
+the standard contrapositive: a condition fails exactly when, after removing a
+fault candidate ``F``, there exist two *disjoint, non-empty* node sets each
+receiving at most ``x - 1`` incoming neighbours from outside itself.  The
+inner search enumerates subsets with bitmasks (exact, exhaustive); literal
+partition enumeration is also provided for tiny graphs as an independent
+oracle used by the test-suite.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.conditions.certificates import ConditionReport, PartitionViolation
+from repro.conditions.reach_conditions import iter_subsets
+from repro.exceptions import InvalidFaultBoundError
+from repro.graphs.digraph import DiGraph, Node
+
+
+# ----------------------------------------------------------------------
+# Definition 14: the "A →^x B" relation
+# ----------------------------------------------------------------------
+def has_x_incoming(graph: DiGraph, source_set: Iterable[Node], target_set: Iterable[Node], x: int) -> bool:
+    """``A →^x B`` — ``B`` has at least ``x`` distinct incoming neighbours in ``A``.
+
+    Incoming neighbours of ``B`` are nodes outside ``B`` with an edge into
+    ``B``; only those belonging to ``A`` are counted.
+    """
+    a = set(source_set)
+    b = set(target_set)
+    incoming = graph.in_neighborhood_of_set(b)
+    return len(incoming & a) >= x
+
+
+# ----------------------------------------------------------------------
+# bitmask machinery shared by the fast checkers
+# ----------------------------------------------------------------------
+class _PartitionEngine:
+    """Bitmask helper answering "does a violating partition exist?" queries."""
+
+    def __init__(self, graph: DiGraph) -> None:
+        self.nodes: List[Node] = list(graph.nodes)
+        self.index: Dict[Node, int] = {node: i for i, node in enumerate(self.nodes)}
+        self.n = len(self.nodes)
+        self.full_mask = (1 << self.n) - 1
+        self.in_masks: List[int] = [0] * self.n  # in_masks[v] = predecessors of v
+        for u, v in graph.edges:
+            self.in_masks[self.index[v]] |= 1 << self.index[u]
+
+    def mask_of(self, nodes: Iterable[Node]) -> int:
+        mask = 0
+        for node in nodes:
+            mask |= 1 << self.index[node]
+        return mask
+
+    def nodes_of(self, mask: int) -> FrozenSet[Node]:
+        return frozenset(self.nodes[i] for i in range(self.n) if mask & (1 << i))
+
+    def external_in_neighbors(self, subset_mask: int, allowed_mask: int) -> int:
+        """Incoming neighbourhood of ``subset`` restricted to ``allowed \\ subset``."""
+        incoming = 0
+        bits = subset_mask
+        while bits:
+            low = bits & -bits
+            incoming |= self.in_masks[low.bit_length() - 1]
+            bits ^= low
+        return incoming & allowed_mask & ~subset_mask
+
+    def closed_sets(self, allowed_mask: int, threshold: int) -> List[int]:
+        """Non-empty subsets of ``allowed`` with at most ``threshold`` external
+        in-neighbours inside ``allowed`` (candidate L/R halves of a violation)."""
+        members = [i for i in range(self.n) if allowed_mask & (1 << i)]
+        result: List[int] = []
+        for size in range(1, len(members) + 1):
+            for combo in combinations(members, size):
+                mask = 0
+                for node_index in combo:
+                    mask |= 1 << node_index
+                incoming = self.external_in_neighbors(mask, allowed_mask)
+                if bin(incoming).count("1") <= threshold:
+                    result.append(mask)
+        return result
+
+    def find_disjoint_weak_pair(
+        self, allowed_mask: int, threshold: int
+    ) -> Optional[Tuple[int, int, int, int]]:
+        """Find two disjoint non-empty subsets of ``allowed``, each with at
+        most ``threshold`` external in-neighbours inside ``allowed``.
+
+        Returns ``(left_mask, right_mask, left_incoming, right_incoming)`` or
+        ``None``.  This is exactly the contrapositive of "for every partition
+        L, C, R: L∪C →^{threshold+1} R or R∪C →^{threshold+1} L".
+
+        Subset generation and disjointness checking are interleaved (smallest
+        subsets first) so a violating pair is reported as soon as possible;
+        the exhaustive sweep only happens when the condition actually holds.
+        """
+        members = [i for i in range(self.n) if allowed_mask & (1 << i)]
+        weak: List[int] = []
+        for size in range(1, len(members) + 1):
+            for combo in combinations(members, size):
+                mask = 0
+                for node_index in combo:
+                    mask |= 1 << node_index
+                incoming = self.external_in_neighbors(mask, allowed_mask)
+                if bin(incoming).count("1") > threshold:
+                    continue
+                for other in weak:
+                    if other & mask == 0:
+                        left_in = bin(self.external_in_neighbors(other, allowed_mask)).count("1")
+                        right_in = bin(incoming).count("1")
+                        return other, mask, left_in, right_in
+                weak.append(mask)
+        return None
+
+
+def _validate(graph: DiGraph, f: int) -> None:
+    if not isinstance(f, int) or f < 0:
+        raise InvalidFaultBoundError(f)
+    if graph.num_nodes == 0:
+        raise InvalidFaultBoundError("cannot evaluate conditions on an empty graph")
+
+
+def _report_from_pair(
+    engine: _PartitionEngine,
+    condition: str,
+    f: int,
+    fault_mask: int,
+    pair: Tuple[int, int, int, int],
+    checks: int,
+) -> ConditionReport:
+    left_mask, right_mask, left_in, right_in = pair
+    allowed_mask = engine.full_mask & ~fault_mask
+    center_mask = allowed_mask & ~left_mask & ~right_mask
+    violation = PartitionViolation(
+        fault_set=engine.nodes_of(fault_mask),
+        left=engine.nodes_of(left_mask),
+        center=engine.nodes_of(center_mask),
+        right=engine.nodes_of(right_mask),
+        left_incoming=left_in,
+        right_incoming=right_in,
+    )
+    return ConditionReport(
+        condition=condition,
+        f=f,
+        holds=False,
+        partition_violation=violation,
+        checks_performed=checks,
+    )
+
+
+# ----------------------------------------------------------------------
+# public checkers
+# ----------------------------------------------------------------------
+def check_cca(graph: DiGraph, f: int) -> ConditionReport:
+    """Check condition CCA (Definition 17) — crash, asynchronous, approximate.
+
+    Holds iff there are no two disjoint non-empty node sets each with at most
+    ``f`` incoming neighbours from the rest of the graph.
+    """
+    _validate(graph, f)
+    engine = _PartitionEngine(graph)
+    pair = engine.find_disjoint_weak_pair(engine.full_mask, f)
+    checks = 1 << engine.n
+    if pair is None:
+        return ConditionReport(condition="CCA", f=f, holds=True, checks_performed=checks)
+    return _report_from_pair(engine, "CCA", f, 0, pair, checks)
+
+
+def check_ccs(graph: DiGraph, f: int) -> ConditionReport:
+    """Check condition CCS (Definition 16) — crash, synchronous, exact.
+
+    Holds iff for every fault candidate ``F`` (``|F| ≤ f``) the graph induced
+    on ``V \\ F`` has no two disjoint non-empty sets without *any* external
+    incoming neighbour — equivalently, ``G_{V \\ F}`` has a single source
+    strongly-connected component (a rooted spanning tree exists).
+    """
+    _validate(graph, f)
+    engine = _PartitionEngine(graph)
+    total_checks = 0
+    for fault in iter_subsets(graph.nodes, f):
+        fault_mask = engine.mask_of(fault)
+        allowed_mask = engine.full_mask & ~fault_mask
+        # Fast path: count source SCCs of the induced subgraph.
+        induced = graph.exclude_nodes(fault)
+        components, dag = induced.condensation()
+        total_checks += len(components)
+        sources = [i for i in range(len(components)) if dag.in_degree(i) == 0]
+        if len(sources) >= 2:
+            left_mask = engine.mask_of(components[sources[0]])
+            right_mask = engine.mask_of(components[sources[1]])
+            pair = (left_mask, right_mask, 0, 0)
+            return _report_from_pair(engine, "CCS", f, fault_mask, pair, total_checks)
+        if not components:
+            # F = V: vacuously fine (no L, R can be formed).
+            continue
+    return ConditionReport(condition="CCS", f=f, holds=True, checks_performed=total_checks)
+
+
+def check_bcs(graph: DiGraph, f: int) -> ConditionReport:
+    """Check condition BCS (Definition 18) — Byzantine, synchronous, exact.
+
+    By the paper's main theorem the same condition is tight for asynchronous
+    Byzantine approximate consensus.  Holds iff for every fault candidate
+    ``F`` (``|F| ≤ f``) condition CCA holds in the graph induced on
+    ``V \\ F``.
+    """
+    _validate(graph, f)
+    engine = _PartitionEngine(graph)
+    total_checks = 0
+    for fault in iter_subsets(graph.nodes, f):
+        fault_mask = engine.mask_of(fault)
+        allowed_mask = engine.full_mask & ~fault_mask
+        remaining = engine.n - bin(fault_mask).count("1")
+        total_checks += 1 << remaining
+        pair = engine.find_disjoint_weak_pair(allowed_mask, f)
+        if pair is not None:
+            return _report_from_pair(engine, "BCS", f, fault_mask, pair, total_checks)
+    return ConditionReport(condition="BCS", f=f, holds=True, checks_performed=total_checks)
+
+
+# ----------------------------------------------------------------------
+# literal (tiny-graph) partition enumeration — independent oracle
+# ----------------------------------------------------------------------
+def check_cca_literal(graph: DiGraph, f: int) -> ConditionReport:
+    """Literal Definition 17 check by enumerating 3-way partitions.
+
+    Exponential (3^n partitions); intended as an independent oracle for the
+    test-suite on tiny graphs.
+    """
+    _validate(graph, f)
+    nodes = graph.nodes
+    n = len(nodes)
+    checks = 0
+    for assignment in range(3 ** n):
+        left, center, right = [], [], []
+        value = assignment
+        for node in nodes:
+            bucket = value % 3
+            value //= 3
+            (left, center, right)[bucket].append(node)
+        if not left or not right:
+            continue
+        checks += 1
+        if has_x_incoming(graph, set(left) | set(center), right, f + 1):
+            continue
+        if has_x_incoming(graph, set(right) | set(center), left, f + 1):
+            continue
+        violation = PartitionViolation(
+            fault_set=frozenset(),
+            left=frozenset(left),
+            center=frozenset(center),
+            right=frozenset(right),
+            left_incoming=len(graph.in_neighborhood_of_set(left) & (set(right) | set(center))),
+            right_incoming=len(graph.in_neighborhood_of_set(right) & (set(left) | set(center))),
+        )
+        return ConditionReport(
+            condition="CCA", f=f, holds=False, partition_violation=violation, checks_performed=checks
+        )
+    return ConditionReport(condition="CCA", f=f, holds=True, checks_performed=checks)
+
+
+def check_bcs_literal(graph: DiGraph, f: int) -> ConditionReport:
+    """Literal Definition 18 check: for every ``|F| ≤ f``, CCA holds on
+    ``G_{V \\ F}`` via :func:`check_cca_literal`.  Tiny graphs only."""
+    _validate(graph, f)
+    total_checks = 0
+    for fault in iter_subsets(graph.nodes, f):
+        induced = graph.exclude_nodes(fault)
+        if induced.num_nodes == 0:
+            continue
+        inner = check_cca_literal(induced, f)
+        total_checks += inner.checks_performed
+        if not inner.holds:
+            assert inner.partition_violation is not None
+            violation = PartitionViolation(
+                fault_set=frozenset(fault),
+                left=inner.partition_violation.left,
+                center=inner.partition_violation.center,
+                right=inner.partition_violation.right,
+                left_incoming=inner.partition_violation.left_incoming,
+                right_incoming=inner.partition_violation.right_incoming,
+            )
+            return ConditionReport(
+                condition="BCS",
+                f=f,
+                holds=False,
+                partition_violation=violation,
+                checks_performed=total_checks,
+            )
+    return ConditionReport(condition="BCS", f=f, holds=True, checks_performed=total_checks)
+
+
+def check_ccs_literal(graph: DiGraph, f: int) -> ConditionReport:
+    """Literal Definition 16 check (tiny graphs only): for every ``|F| ≤ f``
+    and every 3-way partition of ``V \\ F``, one side receives at least one
+    incoming neighbour from the other side plus the center."""
+    _validate(graph, f)
+    total_checks = 0
+    for fault in iter_subsets(graph.nodes, f):
+        induced = graph.exclude_nodes(fault)
+        if induced.num_nodes == 0:
+            continue
+        inner = check_cca_literal(induced, 0)
+        total_checks += inner.checks_performed
+        if not inner.holds:
+            assert inner.partition_violation is not None
+            violation = PartitionViolation(
+                fault_set=frozenset(fault),
+                left=inner.partition_violation.left,
+                center=inner.partition_violation.center,
+                right=inner.partition_violation.right,
+                left_incoming=inner.partition_violation.left_incoming,
+                right_incoming=inner.partition_violation.right_incoming,
+            )
+            return ConditionReport(
+                condition="CCS",
+                f=f,
+                holds=False,
+                partition_violation=violation,
+                checks_performed=total_checks,
+            )
+    return ConditionReport(condition="CCS", f=f, holds=True, checks_performed=total_checks)

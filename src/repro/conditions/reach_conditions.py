@@ -1,0 +1,364 @@
+"""The k-reach condition family (Definition 3 and Definition 20).
+
+The paper's central topological conditions:
+
+* **1-reach** — for every fault candidate ``F`` (``|F| ≤ f``) and every pair
+  of nodes outside ``F``, the reach sets under ``F`` intersect.  Tight for
+  synchronous crash consensus (Theorem 1).
+* **2-reach** — every pair of nodes, each suspecting its own candidate set,
+  still shares a common influence node.  Tight for asynchronous crash
+  approximate consensus (Theorem 2).
+* **3-reach** — a shared set ``F`` plus per-node suspicion sets; tight for
+  synchronous Byzantine exact consensus (Theorem 3) and — the paper's main
+  result — for asynchronous Byzantine approximate consensus (Theorem 4).
+* **k-reach** — the generalization of Appendix A (Definition 20): the total
+  "exclusion budget" per node is one shared set of size ``≤ f`` (odd ``k``)
+  plus ``⌊k/2⌋`` private sets of size ``≤ f`` each.
+
+Checkers are exhaustive and exact.  Internally reach sets are represented as
+integer bitmasks and computed for all nodes of an exclusion set at once by a
+fixed-point propagation, which keeps the (inherently exponential in ``f``)
+enumeration fast enough for the graph sizes the paper discusses (Figure 1(b)
+with ``n = 14``, ``f = 2`` checks in well under a second).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.conditions.certificates import ConditionReport, ReachViolation
+from repro.exceptions import InvalidFaultBoundError
+from repro.graphs.digraph import DiGraph, Node
+
+
+# ----------------------------------------------------------------------
+# subset enumeration helpers
+# ----------------------------------------------------------------------
+def iter_subsets(items: Sequence[Node], max_size: int) -> Iterator[FrozenSet[Node]]:
+    """All subsets of ``items`` with ``0 ≤ |subset| ≤ max_size`` (small first)."""
+    if max_size < 0:
+        raise InvalidFaultBoundError(max_size)
+    bound = min(max_size, len(items))
+    for size in range(bound + 1):
+        for combo in combinations(items, size):
+            yield frozenset(combo)
+
+
+def count_subsets(n: int, max_size: int) -> int:
+    """Number of subsets of an ``n``-element set with size at most ``max_size``."""
+    from math import comb
+
+    return sum(comb(n, size) for size in range(min(max_size, n) + 1))
+
+
+# ----------------------------------------------------------------------
+# bitmask reachability engine
+# ----------------------------------------------------------------------
+class _BitGraph:
+    """Bitmask view of a :class:`DiGraph` for fast repeated reach-set queries."""
+
+    def __init__(self, graph: DiGraph) -> None:
+        self.nodes: List[Node] = list(graph.nodes)
+        self.index: Dict[Node, int] = {node: i for i, node in enumerate(self.nodes)}
+        self.n = len(self.nodes)
+        self.full_mask = (1 << self.n) - 1
+        self.pred_masks: List[int] = [0] * self.n
+        for u, v in graph.edges:
+            self.pred_masks[self.index[v]] |= 1 << self.index[u]
+
+    def mask_of(self, nodes: Iterable[Node]) -> int:
+        """Bitmask of a node collection."""
+        mask = 0
+        for node in nodes:
+            mask |= 1 << self.index[node]
+        return mask
+
+    def nodes_of(self, mask: int) -> FrozenSet[Node]:
+        """Node set corresponding to a bitmask."""
+        return frozenset(self.nodes[i] for i in range(self.n) if mask & (1 << i))
+
+    def reach_masks(self, excluded_mask: int) -> List[int]:
+        """``reach_v(F)`` for every node ``v`` outside ``F``, as bitmasks.
+
+        ``reach[v]`` is the set of nodes outside ``F`` (including ``v``) with
+        a directed path to ``v`` in the graph induced on ``V \\ F``; entries
+        for excluded nodes are 0.  Computed by iterating
+        ``reach[v] ← {v} ∪ ⋃_{u ∈ pred(v) \\ F} reach[u]`` to a fixed point.
+        """
+        allowed = self.full_mask & ~excluded_mask
+        reach = [0] * self.n
+        for i in range(self.n):
+            if allowed & (1 << i):
+                reach[i] = 1 << i
+        changed = True
+        while changed:
+            changed = False
+            for i in range(self.n):
+                if not (allowed & (1 << i)):
+                    continue
+                acc = reach[i]
+                preds = self.pred_masks[i] & allowed
+                j = preds
+                while j:
+                    low = j & -j
+                    acc |= reach[low.bit_length() - 1]
+                    j ^= low
+                if acc != reach[i]:
+                    reach[i] = acc
+                    changed = True
+        return reach
+
+    def reach_mask_of(self, node: Node, excluded: Iterable[Node]) -> int:
+        """``reach_node(excluded)`` as a bitmask (single-node convenience)."""
+        excluded_mask = self.mask_of(excluded)
+        return self.reach_masks(excluded_mask)[self.index[node]]
+
+
+# ----------------------------------------------------------------------
+# core pairwise-intersection engine
+# ----------------------------------------------------------------------
+def _two_reach_core(
+    bitgraph: _BitGraph,
+    f_budget: int,
+    base_excluded_mask: int,
+) -> Tuple[Optional[Tuple[int, int, int, int]], int]:
+    """Check the 2-reach style intersection property above a base exclusion.
+
+    For every pair of nodes ``u, v`` outside the base exclusion and every
+    pair of private suspicion sets ``Fu, Fv`` (``|·| ≤ f_budget``, drawn from
+    nodes outside the base exclusion, not containing their own node), check
+    ``reach_v(base ∪ Fv) ∩ reach_u(base ∪ Fu) ≠ ∅``.
+
+    Returns ``(violation, checks)`` where ``violation`` is
+    ``(u_index, fu_mask, v_index, fv_mask)`` or ``None``.
+    """
+    n = bitgraph.n
+    available = [i for i in range(n) if not (base_excluded_mask & (1 << i))]
+    checks = 0
+
+    # Collect (node_index, private_mask, reach_mask); group per private set so
+    # reach sets for all nodes under the same exclusion are computed together.
+    entries: List[Tuple[int, int, int]] = []
+    for private in iter_subsets(available, f_budget):
+        private_mask = 0
+        for node_index in private:
+            private_mask |= 1 << node_index
+        reach = bitgraph.reach_masks(base_excluded_mask | private_mask)
+        for i in available:
+            if private_mask & (1 << i):
+                continue
+            entries.append((i, private_mask, reach[i]))
+
+    # Deduplicate by reach mask: identical masks always intersect (each
+    # contains its own node... two different nodes with the same mask still
+    # intersect because the mask is non-empty and shared).  Only distinct
+    # masks can be disjoint.  Keep one representative per mask.
+    full = bitgraph.full_mask & ~base_excluded_mask
+    representative: Dict[int, Tuple[int, int]] = {}
+    for node_index, private_mask, mask in entries:
+        if mask == full:
+            continue  # intersects every non-empty reach set
+        if mask not in representative:
+            representative[mask] = (node_index, private_mask)
+
+    masks = list(representative.keys())
+    for a in range(len(masks)):
+        mask_a = masks[a]
+        for b in range(a + 1, len(masks)):
+            checks += 1
+            if mask_a & masks[b] == 0:
+                u_index, fu_mask = representative[mask_a]
+                v_index, fv_mask = representative[masks[b]]
+                return (u_index, fu_mask, v_index, fv_mask), checks
+    return None, checks
+
+
+def _build_violation(
+    bitgraph: _BitGraph,
+    shared_mask: int,
+    violation: Tuple[int, int, int, int],
+) -> ReachViolation:
+    """Convert a core violation tuple into a :class:`ReachViolation`."""
+    u_index, fu_mask, v_index, fv_mask = violation
+    u = bitgraph.nodes[u_index]
+    v = bitgraph.nodes[v_index]
+    shared = bitgraph.nodes_of(shared_mask)
+    fu = bitgraph.nodes_of(fu_mask)
+    fv = bitgraph.nodes_of(fv_mask)
+    reach_u = bitgraph.nodes_of(
+        bitgraph.reach_masks(shared_mask | fu_mask)[u_index]
+    )
+    reach_v = bitgraph.nodes_of(
+        bitgraph.reach_masks(shared_mask | fv_mask)[v_index]
+    )
+    return ReachViolation(
+        u=u,
+        v=v,
+        shared_fault_set=shared,
+        fault_set_u=fu,
+        fault_set_v=fv,
+        reach_u=reach_u,
+        reach_v=reach_v,
+    )
+
+
+# ----------------------------------------------------------------------
+# public checkers
+# ----------------------------------------------------------------------
+def _validate(graph: DiGraph, f: int) -> None:
+    if not isinstance(f, int) or f < 0:
+        raise InvalidFaultBoundError(f)
+    if graph.num_nodes == 0:
+        raise InvalidFaultBoundError("cannot evaluate conditions on an empty graph")
+
+
+def check_one_reach(graph: DiGraph, f: int) -> ConditionReport:
+    """Check the 1-reach condition (Definition 3).
+
+    For any ``F`` with ``|F| ≤ f`` and any nodes ``u, v ∉ F``:
+    ``reach_u(F) ∩ reach_v(F) ≠ ∅``.
+    """
+    _validate(graph, f)
+    bitgraph = _BitGraph(graph)
+    checks = 0
+    for shared in iter_subsets(list(range(bitgraph.n)), f):
+        shared_mask = 0
+        for node_index in shared:
+            shared_mask |= 1 << node_index
+        reach = bitgraph.reach_masks(shared_mask)
+        outside = [i for i in range(bitgraph.n) if not (shared_mask & (1 << i))]
+        for a in range(len(outside)):
+            for b in range(a + 1, len(outside)):
+                checks += 1
+                if reach[outside[a]] & reach[outside[b]] == 0:
+                    violation = _build_violation(
+                        bitgraph, shared_mask, (outside[a], 0, outside[b], 0)
+                    )
+                    return ConditionReport(
+                        condition="1-reach",
+                        f=f,
+                        holds=False,
+                        reach_violation=violation,
+                        checks_performed=checks,
+                    )
+    return ConditionReport(condition="1-reach", f=f, holds=True, checks_performed=checks)
+
+
+def check_two_reach(graph: DiGraph, f: int) -> ConditionReport:
+    """Check the 2-reach condition (Definition 3).
+
+    For any nodes ``u, v`` and any ``Fu ∌ u``, ``Fv ∌ v`` with
+    ``|Fu|, |Fv| ≤ f``: ``reach_v(Fv) ∩ reach_u(Fu) ≠ ∅``.
+    """
+    _validate(graph, f)
+    bitgraph = _BitGraph(graph)
+    violation, checks = _two_reach_core(bitgraph, f, 0)
+    if violation is None:
+        return ConditionReport(condition="2-reach", f=f, holds=True, checks_performed=checks)
+    return ConditionReport(
+        condition="2-reach",
+        f=f,
+        holds=False,
+        reach_violation=_build_violation(bitgraph, 0, violation),
+        checks_performed=checks,
+    )
+
+
+def check_three_reach(graph: DiGraph, f: int) -> ConditionReport:
+    """Check the 3-reach condition (Definition 3) — the paper's tight condition.
+
+    For any ``F, Fu, Fv`` with ``|F|, |Fu|, |Fv| ≤ f``, ``u ∉ F ∪ Fu`` and
+    ``v ∉ F ∪ Fv``: ``reach_v(F ∪ Fv) ∩ reach_u(F ∪ Fu) ≠ ∅``.
+
+    Equivalently (Appendix A): 2-reach holds in ``G_{V \\ F}`` for every
+    ``F`` with ``|F| ≤ f`` — which is how the enumeration is organised.
+    """
+    _validate(graph, f)
+    bitgraph = _BitGraph(graph)
+    total_checks = 0
+    for shared in iter_subsets(list(range(bitgraph.n)), f):
+        shared_mask = 0
+        for node_index in shared:
+            shared_mask |= 1 << node_index
+        violation, checks = _two_reach_core(bitgraph, f, shared_mask)
+        total_checks += checks
+        if violation is not None:
+            return ConditionReport(
+                condition="3-reach",
+                f=f,
+                holds=False,
+                reach_violation=_build_violation(bitgraph, shared_mask, violation),
+                checks_performed=total_checks,
+            )
+    return ConditionReport(
+        condition="3-reach", f=f, holds=True, checks_performed=total_checks
+    )
+
+
+def check_k_reach(graph: DiGraph, f: int, k: int) -> ConditionReport:
+    """Check the generalized k-reach condition (Definition 20).
+
+    The condition grants each node an exclusion budget consisting of a shared
+    set ``F`` of size ``≤ f`` when ``k`` is odd, plus ``⌊k/2⌋`` private sets
+    of size ``≤ f`` each (a union of ``j`` sets of size ``≤ f`` is simply a
+    set of size ``≤ j·f``, which is how the budget is enumerated).  For
+    ``k = 1, 2, 3`` this coincides with the conditions of Definition 3 (the
+    specialised checkers are used directly).
+    """
+    _validate(graph, f)
+    if k < 1:
+        raise InvalidFaultBoundError(k)
+    if k == 1:
+        report = check_one_reach(graph, f)
+    elif k == 2:
+        report = check_two_reach(graph, f)
+    elif k == 3:
+        report = check_three_reach(graph, f)
+    else:
+        bitgraph = _BitGraph(graph)
+        private_budget = (k // 2) * f
+        shared_budget = f if k % 2 == 1 else 0
+        total_checks = 0
+        for shared in iter_subsets(list(range(bitgraph.n)), shared_budget):
+            shared_mask = 0
+            for node_index in shared:
+                shared_mask |= 1 << node_index
+            violation, checks = _two_reach_core(bitgraph, private_budget, shared_mask)
+            total_checks += checks
+            if violation is not None:
+                return ConditionReport(
+                    condition=f"{k}-reach",
+                    f=f,
+                    holds=False,
+                    reach_violation=_build_violation(bitgraph, shared_mask, violation),
+                    checks_performed=total_checks,
+                )
+        return ConditionReport(
+            condition=f"{k}-reach", f=f, holds=True, checks_performed=total_checks
+        )
+    # Re-label the specialised report with the generic condition name.
+    return ConditionReport(
+        condition=f"{k}-reach",
+        f=f,
+        holds=report.holds,
+        reach_violation=report.reach_violation,
+        checks_performed=report.checks_performed,
+    )
+
+
+def max_tolerable_f(graph: DiGraph, k: int = 3, upper_bound: int = None) -> int:
+    """Largest ``f`` for which the k-reach condition holds (resilience).
+
+    Returns ``-1`` when even ``f = 0`` fails (e.g. a graph with no common
+    influence source at all).  The search is linear in ``f`` because the
+    conditions are monotone: enlarging ``f`` only adds constraints.
+    """
+    limit = graph.num_nodes if upper_bound is None else upper_bound
+    best = -1
+    for f in range(limit + 1):
+        if check_k_reach(graph, f, k).holds:
+            best = f
+        else:
+            break
+    return best

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can distinguish library failures from programming errors in their own
+code with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph operations (unknown node, bad edge, ...)."""
+
+
+class NodeNotFoundError(GraphError):
+    """Raised when an operation references a node absent from the graph."""
+
+    def __init__(self, node) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError):
+    """Raised when an operation references an edge absent from the graph."""
+
+    def __init__(self, source, target) -> None:
+        super().__init__(f"edge ({source!r}, {target!r}) is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class InvalidPathError(GraphError):
+    """Raised when a sequence of nodes does not form a path in the graph."""
+
+
+class ConditionError(ReproError):
+    """Raised when a topological-condition query is malformed."""
+
+
+class InvalidFaultBoundError(ConditionError):
+    """Raised when the fault bound ``f`` is negative or otherwise invalid."""
+
+    def __init__(self, f) -> None:
+        super().__init__(f"fault bound f must be a non-negative integer, got {f!r}")
+        self.f = f
+
+
+class SimulationError(ReproError):
+    """Raised by the asynchronous network simulator on invalid operations."""
+
+
+class SchedulerError(SimulationError):
+    """Raised when the event scheduler is used incorrectly."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a consensus protocol is configured inconsistently."""
+
+
+class InfeasibleTopologyError(ProtocolError):
+    """Raised when an algorithm is instantiated on a graph that does not
+    satisfy its required topological condition and strict checking is on."""
+
+
+class AdversaryError(ReproError):
+    """Raised for invalid adversary configurations (too many faults, ...)."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment runner for invalid experiment configs."""

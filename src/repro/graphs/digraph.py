@@ -1,0 +1,466 @@
+"""A small, dependency-free directed-graph implementation.
+
+The paper models the communication network as a simple directed graph
+``G(V, E)`` without self loops.  :class:`DiGraph` implements exactly that
+abstraction with the operations the rest of the library needs:
+
+* adjacency queries (successors / predecessors, in/out neighbourhoods of
+  node sets — Appendix A of the paper),
+* induced subgraphs ``G_Y`` (Section 2),
+* the *reduced graph* construction of Definition 5 is layered on top of the
+  edge-removal primitive exposed here (see :mod:`repro.graphs.reach`),
+* reachability primitives (forward / backward BFS) used by reach sets,
+* strongly connected components used by source components (Definition 6).
+
+The implementation purposefully avoids third-party graph libraries so the
+whole substrate is auditable and self-contained; ``networkx`` is only used in
+the test-suite as an independent oracle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class DiGraph:
+    """A simple directed graph (no self loops, no parallel edges).
+
+    Nodes may be any hashable value.  The class is mutable while being built
+    and supports cheap copies; most analysis code treats instances as
+    immutable after construction.
+
+    Parameters
+    ----------
+    nodes:
+        Optional iterable of initial nodes.
+    edges:
+        Optional iterable of ``(u, v)`` pairs.  Endpoints are added
+        automatically.
+    name:
+        Optional human readable name used in ``repr`` and reports.
+    """
+
+    def __init__(
+        self,
+        nodes: Optional[Iterable[Node]] = None,
+        edges: Optional[Iterable[Edge]] = None,
+        name: str = "",
+    ) -> None:
+        self._succ: Dict[Node, Set[Node]] = {}
+        self._pred: Dict[Node, Set[Node]] = {}
+        self.name = name
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # basic mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` to the graph (no-op when already present)."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        """Add every node of ``nodes``."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the directed edge ``(u, v)``; endpoints are added if missing.
+
+        Self loops are rejected because the paper's model excludes them (a
+        node can always "send to itself" implicitly).
+        """
+        if u == v:
+            raise GraphError(f"self loops are not allowed (node {u!r})")
+        self.add_node(u)
+        self.add_node(v)
+        self._succ[u].add(v)
+        self._pred[v].add(u)
+
+    def add_edges(self, edges: Iterable[Edge]) -> None:
+        """Add every edge of ``edges``."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def add_bidirectional_edge(self, u: Node, v: Node) -> None:
+        """Add both ``(u, v)`` and ``(v, u)`` — models an undirected link."""
+        self.add_edge(u, v)
+        self.add_edge(v, u)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``(u, v)``; raises if absent."""
+        if u not in self._succ or v not in self._succ[u]:
+            raise EdgeNotFoundError(u, v)
+        self._succ[u].discard(v)
+        self._pred[v].discard(u)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges; raises if absent."""
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        for succ in list(self._succ[node]):
+            self._pred[succ].discard(node)
+        for pred in list(self._pred[node]):
+            self._succ[pred].discard(node)
+        del self._succ[node]
+        del self._pred[node]
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[Node]:
+        """All nodes, in insertion order."""
+        return list(self._succ.keys())
+
+    def node_set(self) -> FrozenSet[Node]:
+        """All nodes as a frozenset."""
+        return frozenset(self._succ.keys())
+
+    @property
+    def edges(self) -> List[Edge]:
+        """All directed edges as ``(u, v)`` pairs."""
+        return [(u, v) for u, succs in self._succ.items() for v in succs]
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n = |V|``."""
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges ``|E|``."""
+        return sum(len(s) for s in self._succ.values())
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def has_node(self, node: Node) -> bool:
+        """Return ``True`` when ``node`` is in the graph."""
+        return node in self._succ
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return ``True`` when the directed edge ``(u, v)`` exists."""
+        return u in self._succ and v in self._succ[u]
+
+    def _require_node(self, node: Node) -> None:
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+
+    def successors(self, node: Node) -> FrozenSet[Node]:
+        """Out-neighbours ``N+_v`` of ``node``."""
+        self._require_node(node)
+        return frozenset(self._succ[node])
+
+    def predecessors(self, node: Node) -> FrozenSet[Node]:
+        """In-neighbours ``N-_v`` of ``node``."""
+        self._require_node(node)
+        return frozenset(self._pred[node])
+
+    # Aliases matching the paper's notation.
+    def out_neighbors(self, node: Node) -> FrozenSet[Node]:
+        """Alias of :meth:`successors` (paper notation ``N+_v``)."""
+        return self.successors(node)
+
+    def in_neighbors(self, node: Node) -> FrozenSet[Node]:
+        """Alias of :meth:`predecessors` (paper notation ``N-_v``)."""
+        return self.predecessors(node)
+
+    def out_degree(self, node: Node) -> int:
+        """Number of out-neighbours of ``node``."""
+        return len(self.successors(node))
+
+    def in_degree(self, node: Node) -> int:
+        """Number of in-neighbours of ``node``."""
+        return len(self.predecessors(node))
+
+    def in_neighborhood_of_set(self, nodes: Iterable[Node]) -> FrozenSet[Node]:
+        """Incoming neighbourhood ``N-_B`` of a node set ``B`` (Appendix A).
+
+        A node ``v`` belongs to ``N-_B`` when ``v ∉ B`` and ``v`` has an edge
+        to some node of ``B``.
+        """
+        node_set = set(nodes)
+        for node in node_set:
+            self._require_node(node)
+        result: Set[Node] = set()
+        for node in node_set:
+            result.update(self._pred[node])
+        return frozenset(result - node_set)
+
+    def out_neighborhood_of_set(self, nodes: Iterable[Node]) -> FrozenSet[Node]:
+        """Outgoing neighbourhood ``N+_B`` of a node set ``B`` (Appendix A)."""
+        node_set = set(nodes)
+        for node in node_set:
+            self._require_node(node)
+        result: Set[Node] = set()
+        for node in node_set:
+            result.update(self._succ[node])
+        return frozenset(result - node_set)
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "DiGraph":
+        """Return an independent copy of the graph."""
+        other = DiGraph(name=self.name if name is None else name)
+        for node in self._succ:
+            other.add_node(node)
+        for u, succs in self._succ.items():
+            for v in succs:
+                other.add_edge(u, v)
+        return other
+
+    def induced_subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
+        """The subgraph ``G_Y`` induced by node set ``Y`` (paper Section 2).
+
+        Nodes not present in the graph are ignored, which matches the paper's
+        habit of writing ``G_{V \\ F}`` for arbitrary ``F ⊆ V``.
+        """
+        keep = {node for node in nodes if node in self._succ}
+        sub = DiGraph(name=f"{self.name}|induced" if self.name else "")
+        for node in keep:
+            sub.add_node(node)
+        for u in keep:
+            for v in self._succ[u]:
+                if v in keep:
+                    sub.add_edge(u, v)
+        return sub
+
+    def exclude_nodes(self, excluded: Iterable[Node]) -> "DiGraph":
+        """Shortcut for the induced subgraph on ``V \\ excluded``."""
+        excluded_set = set(excluded)
+        return self.induced_subgraph(n for n in self._succ if n not in excluded_set)
+
+    def remove_outgoing_edges_of(self, nodes: Iterable[Node]) -> "DiGraph":
+        """Return a copy with all outgoing edges of ``nodes`` removed.
+
+        This is the edge-removal primitive behind the *reduced graph*
+        ``G_{F1,F2}`` of Definition 5 (outgoing links of ``F1 ∪ F2`` are cut,
+        the vertex set stays intact).
+        """
+        blocked = set(nodes)
+        out = DiGraph(name=f"{self.name}|reduced" if self.name else "")
+        for node in self._succ:
+            out.add_node(node)
+        for u, succs in self._succ.items():
+            if u in blocked:
+                continue
+            for v in succs:
+                out.add_edge(u, v)
+        return out
+
+    def reverse(self) -> "DiGraph":
+        """Return the graph with every edge reversed."""
+        rev = DiGraph(name=f"{self.name}|reverse" if self.name else "")
+        for node in self._succ:
+            rev.add_node(node)
+        for u, succs in self._succ.items():
+            for v in succs:
+                rev.add_edge(v, u)
+        return rev
+
+    def to_undirected_edges(self) -> Set[FrozenSet[Node]]:
+        """Return the underlying undirected edge set (as 2-element frozensets)."""
+        return {frozenset((u, v)) for u, v in self.edges}
+
+    def is_bidirectional(self) -> bool:
+        """``True`` when every edge has its reverse (i.e. models an undirected graph)."""
+        return all(self.has_edge(v, u) for u, v in self.edges)
+
+    # ------------------------------------------------------------------
+    # reachability
+    # ------------------------------------------------------------------
+    def descendants(self, source: Node) -> FrozenSet[Node]:
+        """All nodes reachable from ``source`` (excluding ``source`` itself
+        unless it lies on a cycle through itself, which cannot happen without
+        self loops)."""
+        self._require_node(source)
+        seen = {source}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for nxt in self._succ[current]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        seen.discard(source)
+        return frozenset(seen)
+
+    def ancestors(self, target: Node) -> FrozenSet[Node]:
+        """All nodes that can reach ``target`` (excluding ``target``)."""
+        self._require_node(target)
+        seen = {target}
+        queue = deque([target])
+        while queue:
+            current = queue.popleft()
+            for nxt in self._pred[current]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        seen.discard(target)
+        return frozenset(seen)
+
+    def has_path(self, source: Node, target: Node) -> bool:
+        """``True`` when a directed path from ``source`` to ``target`` exists.
+
+        A node always has a (trivial, empty) path to itself.
+        """
+        self._require_node(source)
+        self._require_node(target)
+        if source == target:
+            return True
+        return target in self.descendants(source)
+
+    def shortest_path(self, source: Node, target: Node) -> Optional[List[Node]]:
+        """A shortest directed path from ``source`` to ``target`` (BFS), or
+        ``None`` when no path exists.  The trivial path ``[source]`` is
+        returned when ``source == target``."""
+        self._require_node(source)
+        self._require_node(target)
+        if source == target:
+            return [source]
+        parents: Dict[Node, Node] = {}
+        queue = deque([source])
+        seen = {source}
+        while queue:
+            current = queue.popleft()
+            for nxt in self._succ[current]:
+                if nxt in seen:
+                    continue
+                parents[nxt] = current
+                if nxt == target:
+                    path = [target]
+                    while path[-1] != source:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return path
+                seen.add(nxt)
+                queue.append(nxt)
+        return None
+
+    # ------------------------------------------------------------------
+    # strongly connected components
+    # ------------------------------------------------------------------
+    def strongly_connected_components(self) -> List[FrozenSet[Node]]:
+        """Strongly connected components (iterative Tarjan).
+
+        Returned in reverse topological order of the condensation (i.e. a
+        component is emitted only after all components it can reach).
+        """
+        index_counter = 0
+        indices: Dict[Node, int] = {}
+        lowlinks: Dict[Node, int] = {}
+        on_stack: Set[Node] = set()
+        stack: List[Node] = []
+        components: List[FrozenSet[Node]] = []
+
+        for root in self._succ:
+            if root in indices:
+                continue
+            # Iterative Tarjan with an explicit work stack of
+            # (node, iterator over successors) frames.
+            work: List[Tuple[Node, Iterator[Node]]] = [(root, iter(self._succ[root]))]
+            indices[root] = lowlinks[root] = index_counter
+            index_counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for nxt in successors:
+                    if nxt not in indices:
+                        indices[nxt] = lowlinks[nxt] = index_counter
+                        index_counter += 1
+                        stack.append(nxt)
+                        on_stack.add(nxt)
+                        work.append((nxt, iter(self._succ[nxt])))
+                        advanced = True
+                        break
+                    if nxt in on_stack:
+                        lowlinks[node] = min(lowlinks[node], indices[nxt])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+                if lowlinks[node] == indices[node]:
+                    component: Set[Node] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(frozenset(component))
+        return components
+
+    def condensation(self) -> Tuple[List[FrozenSet[Node]], "DiGraph"]:
+        """Return ``(components, dag)`` where ``dag`` is the condensation.
+
+        Component ``i`` of the returned list corresponds to node ``i`` of the
+        DAG.
+        """
+        components = self.strongly_connected_components()
+        component_of: Dict[Node, int] = {}
+        for idx, component in enumerate(components):
+            for node in component:
+                component_of[node] = idx
+        dag = DiGraph(nodes=range(len(components)), name=f"{self.name}|condensation")
+        for u, v in self.edges:
+            cu, cv = component_of[u], component_of[v]
+            if cu != cv:
+                dag.add_edge(cu, cv)
+        return components, dag
+
+    def is_strongly_connected(self) -> bool:
+        """``True`` when the graph has a single strongly connected component
+        (the empty graph is not considered strongly connected)."""
+        if not self._succ:
+            return False
+        return len(self.strongly_connected_components()) == 1
+
+    # ------------------------------------------------------------------
+    # dunder / misc
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return self.node_set() == other.node_set() and set(self.edges) == set(other.edges)
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are rarely hashed
+        return hash((self.node_set(), frozenset(self.edges)))
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<DiGraph{label} n={self.num_nodes} m={self.num_edges}>"
+
+    def summary(self) -> str:
+        """A short multi-line description used by examples and reports."""
+        lines = [
+            f"DiGraph {self.name or '<unnamed>'}",
+            f"  nodes: {self.num_nodes}",
+            f"  edges: {self.num_edges}",
+            f"  bidirectional: {self.is_bidirectional()}",
+            f"  strongly connected: {self.is_strongly_connected()}",
+        ]
+        return "\n".join(lines)

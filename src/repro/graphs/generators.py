@@ -1,0 +1,381 @@
+"""Graph generators: the paper's example graphs plus synthetic families.
+
+Provides the two graphs of Figure 1, the clique / complete-digraph family the
+clique specializations are checked against (Appendix A), and the synthetic
+families (random digraphs, bidirected random graphs, rings, wheels, layered
+DAG-with-feedback graphs) used by the benchmark harness to populate the
+Table 1 / Table 2 reproductions.
+
+All generators return :class:`~repro.graphs.digraph.DiGraph` instances with
+integer or string node labels and a descriptive ``name``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.digraph import DiGraph, Node
+
+
+# ----------------------------------------------------------------------
+# elementary families
+# ----------------------------------------------------------------------
+def complete_digraph(n: int, labels: Optional[Sequence[Node]] = None) -> DiGraph:
+    """The complete directed graph (clique) on ``n`` nodes.
+
+    Every ordered pair of distinct nodes is an edge; this is the network model
+    of Abraham et al. [1] that the paper generalizes.
+    """
+    if n < 1:
+        raise GraphError("a clique needs at least one node")
+    nodes = list(labels) if labels is not None else list(range(n))
+    if len(nodes) != n:
+        raise GraphError("labels length must equal n")
+    graph = DiGraph(nodes=nodes, name=f"clique-{n}")
+    for u in nodes:
+        for v in nodes:
+            if u != v:
+                graph.add_edge(u, v)
+    return graph
+
+
+def directed_cycle(n: int) -> DiGraph:
+    """A directed cycle ``0 → 1 → ... → n-1 → 0``."""
+    if n < 2:
+        raise GraphError("a directed cycle needs at least two nodes")
+    graph = DiGraph(nodes=range(n), name=f"cycle-{n}")
+    for i in range(n):
+        graph.add_edge(i, (i + 1) % n)
+    return graph
+
+
+def bidirected_cycle(n: int) -> DiGraph:
+    """An undirected cycle modelled as a bidirected digraph."""
+    if n < 3:
+        raise GraphError("an undirected cycle needs at least three nodes")
+    graph = DiGraph(nodes=range(n), name=f"bicycle-{n}")
+    for i in range(n):
+        graph.add_bidirectional_edge(i, (i + 1) % n)
+    return graph
+
+
+def directed_path(n: int) -> DiGraph:
+    """A directed path ``0 → 1 → ... → n-1``."""
+    if n < 1:
+        raise GraphError("a path needs at least one node")
+    graph = DiGraph(nodes=range(n), name=f"path-{n}")
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+def star_out(n: int) -> DiGraph:
+    """A star with node 0 broadcasting to ``n - 1`` leaves."""
+    if n < 2:
+        raise GraphError("a star needs at least two nodes")
+    graph = DiGraph(nodes=range(n), name=f"star-out-{n}")
+    for i in range(1, n):
+        graph.add_edge(0, i)
+    return graph
+
+
+def bidirected_star(n: int) -> DiGraph:
+    """An undirected star (hub node 0) as a bidirected digraph."""
+    if n < 2:
+        raise GraphError("a star needs at least two nodes")
+    graph = DiGraph(nodes=range(n), name=f"star-{n}")
+    for i in range(1, n):
+        graph.add_bidirectional_edge(0, i)
+    return graph
+
+
+def bidirected_wheel(n: int) -> DiGraph:
+    """An undirected wheel: a cycle on nodes ``1..n-1`` plus hub node ``0``.
+
+    Wheels are the classical minimal examples of 3-connected graphs and are
+    used in the Table 1 reproduction.
+    """
+    if n < 4:
+        raise GraphError("a wheel needs at least four nodes")
+    graph = DiGraph(nodes=range(n), name=f"wheel-{n}")
+    rim = list(range(1, n))
+    for i, node in enumerate(rim):
+        graph.add_bidirectional_edge(node, rim[(i + 1) % len(rim)])
+        graph.add_bidirectional_edge(0, node)
+    return graph
+
+
+def bidirected_complete(n: int) -> DiGraph:
+    """The undirected complete graph as a bidirected digraph (same as clique)."""
+    graph = complete_digraph(n)
+    graph.name = f"undirected-complete-{n}"
+    return graph
+
+
+# ----------------------------------------------------------------------
+# the paper's Figure 1 graphs
+# ----------------------------------------------------------------------
+def figure_1a() -> DiGraph:
+    """Figure 1(a): a 5-node undirected graph where synchronous exact
+    Byzantine consensus is feasible for ``f = 1``.
+
+    The figure shows nodes ``v1..v5`` with connectivity κ(G) = 3 > 2f and
+    ``n = 5 > 3f = 3``; removing any edge drops the connectivity below
+    ``2f + 1`` and makes consensus (and RMT) impossible.  The drawing is the
+    "pentagon plus chords" graph: the unique (up to isomorphism) 3-connected
+    5-node graph with the minimum number of edges consistent with the figure
+    layout — every node has degree exactly 3, i.e. the complement of a
+    perfect matching... which does not exist on 5 nodes; the minimal
+    3-connected 5-node graphs have 8 edges (degree sequence 4,3,3,3,3).  We
+    use the wheel W5 (hub ``v1``): κ = 3, and every edge is critical for
+    κ > 2, matching the figure's claim that removing any edge reduces κ(G).
+    """
+    graph = DiGraph(name="figure-1a")
+    v = {i: f"v{i}" for i in range(1, 6)}
+    rim = [v[2], v[3], v[4], v[5]]
+    for i, node in enumerate(rim):
+        graph.add_bidirectional_edge(node, rim[(i + 1) % len(rim)])
+        graph.add_bidirectional_edge(v[1], node)
+    return graph
+
+
+def figure_1b() -> DiGraph:
+    """Figure 1(b): two 7-node cliques joined by eight directed edges, f = 2.
+
+    The graph consists of cliques ``K1 = {v1..v7}`` and ``K2 = {w1..w7}``
+    (all intra-clique edges bidirectional, not drawn in the figure) plus the
+    eight directed inter-clique edges shown in the figure.  The figure draws
+    four edges from K1 into K2 and four from K2 into K1, attached to the
+    "outer" columns, such that some pairs (e.g. ``v1`` and ``w1``) are
+    connected by only ``2f = 4`` vertex-disjoint paths while the 3-reach
+    condition still holds for ``f = 2``.
+
+    Concretely we use the arrangement
+
+    * ``w1 → v1``, ``w2 → v2``, ``w3 → v3``, ``w4 → v4``  (K2 into K1)
+    * ``v4 → w4``, ``v5 → w5``, ``v6 → w6``, ``v7 → w7``  (K1 into K2)
+
+    which yields exactly 4 vertex-disjoint ``(v1, w1)``-paths (all K1→K2
+    traffic must cross the 4-edge cut ``{v4→w4, ..., v7→w7}``) and satisfies
+    3-reach for ``f = 2`` — both properties are verified by the test-suite
+    and regenerated by ``benchmarks/bench_figure1.py``.
+    """
+    graph = DiGraph(name="figure-1b")
+    v_nodes = [f"v{i}" for i in range(1, 8)]
+    w_nodes = [f"w{i}" for i in range(1, 8)]
+    for clique in (v_nodes, w_nodes):
+        for i, a in enumerate(clique):
+            for b in clique[i + 1:]:
+                graph.add_bidirectional_edge(a, b)
+    for i in (1, 2, 3, 4):
+        graph.add_edge(f"w{i}", f"v{i}")
+    for i in (4, 5, 6, 7):
+        graph.add_edge(f"v{i}", f"w{i}")
+    return graph
+
+
+def two_cliques_bridged(
+    clique_size: int, forward_bridges: int, backward_bridges: int
+) -> DiGraph:
+    """A parametric generalization of Figure 1(b).
+
+    Two bidirected cliques ``A = {a0..}`` and ``B = {b0..}`` with
+    ``forward_bridges`` directed edges from A to B (``a_i → b_i``) and
+    ``backward_bridges`` directed edges from B to A (``b_{k-1-i} → a_{k-1-i}``
+    counted from the top).  Used for resilience sweeps: 3-reach holds for
+    ``f`` roughly when each bridge count exceeds ``2f``.
+    """
+    if clique_size < 1:
+        raise GraphError("clique_size must be positive")
+    if forward_bridges > clique_size or backward_bridges > clique_size:
+        raise GraphError("cannot have more bridges than clique nodes")
+    graph = DiGraph(name=f"two-cliques-{clique_size}-{forward_bridges}f-{backward_bridges}b")
+    a_nodes = [f"a{i}" for i in range(clique_size)]
+    b_nodes = [f"b{i}" for i in range(clique_size)]
+    for clique in (a_nodes, b_nodes):
+        for i, x in enumerate(clique):
+            graph.add_node(x)
+            for y in clique[i + 1:]:
+                graph.add_bidirectional_edge(x, y)
+    for i in range(forward_bridges):
+        graph.add_edge(a_nodes[i], b_nodes[i])
+    for i in range(backward_bridges):
+        graph.add_edge(b_nodes[clique_size - 1 - i], a_nodes[clique_size - 1 - i])
+    return graph
+
+
+# ----------------------------------------------------------------------
+# random families
+# ----------------------------------------------------------------------
+def random_digraph(
+    n: int, p: float, seed: Optional[int] = None, ensure_connected: bool = False
+) -> DiGraph:
+    """An Erdős–Rényi style random digraph: each ordered pair is an edge w.p. ``p``.
+
+    With ``ensure_connected`` a directed Hamiltonian cycle is added first so
+    the result is strongly connected (useful for consensus workloads where a
+    totally disconnected sample would be uninteresting).
+    """
+    if n < 1:
+        raise GraphError("n must be positive")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError("p must be within [0, 1]")
+    rng = random.Random(seed)
+    graph = DiGraph(nodes=range(n), name=f"random-digraph-{n}-{p}")
+    if ensure_connected and n >= 2:
+        order = list(range(n))
+        rng.shuffle(order)
+        for i in range(n):
+            graph.add_edge(order[i], order[(i + 1) % n])
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def random_bidirected_graph(n: int, p: float, seed: Optional[int] = None) -> DiGraph:
+    """A random undirected graph G(n, p) modelled as a bidirected digraph."""
+    if n < 1:
+        raise GraphError("n must be positive")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError("p must be within [0, 1]")
+    rng = random.Random(seed)
+    graph = DiGraph(nodes=range(n), name=f"random-undirected-{n}-{p}")
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_bidirectional_edge(u, v)
+    return graph
+
+
+def random_k_out_digraph(n: int, k: int, seed: Optional[int] = None) -> DiGraph:
+    """Each node points at ``k`` distinct random other nodes (a sparse family)."""
+    if k >= n:
+        raise GraphError("k must be smaller than n")
+    rng = random.Random(seed)
+    graph = DiGraph(nodes=range(n), name=f"random-{k}-out-{n}")
+    for u in range(n):
+        targets = rng.sample([v for v in range(n) if v != u], k)
+        for v in targets:
+            graph.add_edge(u, v)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# structured directed families for consensus workloads
+# ----------------------------------------------------------------------
+def clique_with_feeders(core_size: int, feeders: int) -> DiGraph:
+    """A bidirected core clique plus ``feeders`` nodes that only *listen*.
+
+    Feeder node ``s_i`` has incoming edges from every core node but a single
+    outgoing edge back into the core, producing genuinely directed topologies
+    where information flows asymmetrically — a minimal model of the wireless
+    motivation in the introduction (different transmission ranges).
+    """
+    if core_size < 1:
+        raise GraphError("core_size must be positive")
+    graph = DiGraph(name=f"clique{core_size}+feeders{feeders}")
+    core = [f"c{i}" for i in range(core_size)]
+    for i, a in enumerate(core):
+        graph.add_node(a)
+        for b in core[i + 1:]:
+            graph.add_bidirectional_edge(a, b)
+    for i in range(feeders):
+        feeder = f"s{i}"
+        for c in core:
+            graph.add_edge(c, feeder)
+        graph.add_edge(feeder, core[i % core_size])
+    return graph
+
+
+def layered_relay_digraph(width: int, depth: int) -> DiGraph:
+    """``depth`` layers of ``width`` nodes; consecutive layers fully
+    connected forward, with a bidirected clique on the first layer and
+    feedback edges from the last layer back to the first.
+
+    A directed family where 3-reach tends to hold for small ``f`` thanks to
+    the wide layer-to-layer cuts.
+    """
+    if width < 1 or depth < 1:
+        raise GraphError("width and depth must be positive")
+    graph = DiGraph(name=f"layered-{width}x{depth}")
+    layers: List[List[str]] = [[f"L{d}N{i}" for i in range(width)] for d in range(depth)]
+    for layer in layers:
+        for node in layer:
+            graph.add_node(node)
+    first = layers[0]
+    for i, a in enumerate(first):
+        for b in first[i + 1:]:
+            graph.add_bidirectional_edge(a, b)
+    for d in range(depth - 1):
+        for a in layers[d]:
+            for b in layers[d + 1]:
+                graph.add_edge(a, b)
+    for a in layers[-1]:
+        for b in layers[0]:
+            if a != b:
+                graph.add_edge(a, b)
+    return graph
+
+
+def directed_sensor_field(
+    rows: int, cols: int, long_range_every: int = 0
+) -> DiGraph:
+    """A grid of sensors with asymmetric radio ranges.
+
+    Each sensor talks to its right and down neighbours bidirectionally and
+    additionally *hears* (incoming edge) its up/left neighbours, modelling a
+    field where downstream nodes have weaker transmitters.  Optionally every
+    ``long_range_every``-th node gets a long-range edge back to node (0, 0),
+    which strengthens the reach conditions.
+    """
+    if rows < 1 or cols < 1:
+        raise GraphError("rows and cols must be positive")
+    graph = DiGraph(name=f"sensor-field-{rows}x{cols}")
+
+    def label(r: int, c: int) -> str:
+        return f"s{r}_{c}"
+
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_node(label(r, c))
+    count = 0
+    for r in range(rows):
+        for c in range(cols):
+            here = label(r, c)
+            if c + 1 < cols:
+                graph.add_bidirectional_edge(here, label(r, c + 1))
+            if r + 1 < rows:
+                graph.add_bidirectional_edge(here, label(r + 1, c))
+            count += 1
+            if long_range_every and count % long_range_every == 0 and (r, c) != (0, 0):
+                graph.add_edge(here, label(0, 0))
+    return graph
+
+
+def make_bidirected(graph: DiGraph) -> DiGraph:
+    """Return a copy with every edge's reverse added (symmetrization)."""
+    result = graph.copy(name=f"{graph.name}|bidirected")
+    for u, v in graph.edges:
+        if not result.has_edge(v, u):
+            result.add_edge(v, u)
+    return result
+
+
+def relabel(graph: DiGraph, mapping) -> DiGraph:
+    """Return a copy with nodes renamed through ``mapping`` (dict or callable)."""
+    if callable(mapping):
+        rename = {node: mapping(node) for node in graph.nodes}
+    else:
+        rename = {node: mapping.get(node, node) for node in graph.nodes}
+    if len(set(rename.values())) != len(rename):
+        raise GraphError("relabel mapping must be injective")
+    result = DiGraph(name=graph.name)
+    for node in graph.nodes:
+        result.add_node(rename[node])
+    for u, v in graph.edges:
+        result.add_edge(rename[u], rename[v])
+    return result

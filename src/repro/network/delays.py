@@ -1,0 +1,151 @@
+"""Link-delay models for the asynchronous simulator.
+
+Asynchrony in the paper means "reliable links, delays finite but unknown a
+priori".  A :class:`DelayModel` decides the latency of each transmission; the
+simulator remains oblivious to the policy.  Besides the benign stochastic
+models, :class:`TargetedDelay` implements the adversarial schedule used in
+the necessity proof of Theorem 18, where the messages crossing a chosen edge
+set are held back beyond the algorithm's decision horizon.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Tuple
+
+NodeId = Any
+EdgeKey = Tuple[NodeId, NodeId]
+
+
+class DelayModel(ABC):
+    """Policy deciding the latency of every link transmission."""
+
+    @abstractmethod
+    def delay(self, sender: NodeId, receiver: NodeId, payload: Any, time: float, rng: random.Random) -> float:
+        """Latency (strictly positive) for a payload sent on ``(sender, receiver)`` at ``time``."""
+
+    def describe(self) -> str:
+        """Short human-readable description used in experiment reports."""
+        return type(self).__name__
+
+
+class ConstantDelay(DelayModel):
+    """Every transmission takes exactly ``latency`` time units."""
+
+    def __init__(self, latency: float = 1.0) -> None:
+        if latency <= 0:
+            raise ValueError("latency must be positive")
+        self.latency = latency
+
+    def delay(self, sender, receiver, payload, time, rng) -> float:
+        return self.latency
+
+    def describe(self) -> str:
+        return f"constant({self.latency})"
+
+
+class UniformDelay(DelayModel):
+    """Latency drawn uniformly from ``[low, high]`` per transmission."""
+
+    def __init__(self, low: float = 0.5, high: float = 2.0) -> None:
+        if low <= 0 or high < low:
+            raise ValueError("need 0 < low <= high")
+        self.low = low
+        self.high = high
+
+    def delay(self, sender, receiver, payload, time, rng) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def describe(self) -> str:
+        return f"uniform({self.low}, {self.high})"
+
+
+class ExponentialDelay(DelayModel):
+    """Latency ``minimum + Exp(mean)`` — a heavy-ish tail stressing asynchrony."""
+
+    def __init__(self, mean: float = 1.0, minimum: float = 0.05) -> None:
+        if mean <= 0 or minimum < 0:
+            raise ValueError("mean must be positive and minimum non-negative")
+        self.mean = mean
+        self.minimum = minimum
+
+    def delay(self, sender, receiver, payload, time, rng) -> float:
+        return self.minimum + rng.expovariate(1.0 / self.mean)
+
+    def describe(self) -> str:
+        return f"exponential(mean={self.mean})"
+
+
+class PerLinkDelay(DelayModel):
+    """Different delay models per directed edge, with a default fallback."""
+
+    def __init__(self, default: DelayModel, overrides: Optional[Dict[EdgeKey, DelayModel]] = None) -> None:
+        self.default = default
+        self.overrides: Dict[EdgeKey, DelayModel] = dict(overrides or {})
+
+    def set_link(self, sender: NodeId, receiver: NodeId, model: DelayModel) -> None:
+        """Override the delay model of one directed link."""
+        self.overrides[(sender, receiver)] = model
+
+    def delay(self, sender, receiver, payload, time, rng) -> float:
+        model = self.overrides.get((sender, receiver), self.default)
+        return model.delay(sender, receiver, payload, time, rng)
+
+    def describe(self) -> str:
+        return f"per-link(default={self.default.describe()}, overrides={len(self.overrides)})"
+
+
+class TargetedDelay(DelayModel):
+    """Hold back every message crossing a chosen edge set until ``release_time``.
+
+    This is the scheduler of execution ``e3`` in the proof of Theorem 18: the
+    messages over ``E(Fv, reach_v(F ∪ Fv))`` and ``E(Fu, reach_u(F ∪ Fu))``
+    are delayed beyond the point where the algorithm must have decided, so
+    the two nodes' views coincide with the fault-free executions ``e1``/``e2``.
+    """
+
+    def __init__(
+        self,
+        slow_edges: Iterable[EdgeKey],
+        release_time: float,
+        fast_model: Optional[DelayModel] = None,
+    ) -> None:
+        self.slow_edges: FrozenSet[EdgeKey] = frozenset(slow_edges)
+        if release_time <= 0:
+            raise ValueError("release_time must be positive")
+        self.release_time = release_time
+        self.fast_model = fast_model or ConstantDelay(0.1)
+
+    def delay(self, sender, receiver, payload, time, rng) -> float:
+        if (sender, receiver) in self.slow_edges:
+            return max(self.release_time - time, self.release_time)
+        return self.fast_model.delay(sender, receiver, payload, time, rng)
+
+    def describe(self) -> str:
+        return (
+            f"targeted(slow_edges={len(self.slow_edges)}, release={self.release_time}, "
+            f"fast={self.fast_model.describe()})"
+        )
+
+
+class JitteredPerReceiverDelay(DelayModel):
+    """Deterministic-but-heterogeneous delays: each receiver has its own pace.
+
+    Useful for reproducible experiments where nodes progress at visibly
+    different speeds without randomness (delays depend only on the receiver's
+    hash), exercising the event-driven round structure of the algorithm.
+    """
+
+    def __init__(self, base: float = 0.5, spread: float = 1.5) -> None:
+        if base <= 0 or spread < 0:
+            raise ValueError("base must be positive and spread non-negative")
+        self.base = base
+        self.spread = spread
+
+    def delay(self, sender, receiver, payload, time, rng) -> float:
+        weight = (hash(receiver) % 997) / 997.0
+        return self.base + self.spread * weight
+
+    def describe(self) -> str:
+        return f"jittered(base={self.base}, spread={self.spread})"

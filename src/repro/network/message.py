@@ -1,0 +1,51 @@
+"""Message envelopes used by the asynchronous network simulator.
+
+The paper's system model (Section 2) assumes reliable point-to-point links
+with unknown, finite delays.  The simulator realizes a link transmission as
+an :class:`Envelope`: the protocol-level payload wrapped with routing and
+timing metadata.  Payloads themselves are defined by the protocols (see
+:mod:`repro.algorithms.messages`); the network layer treats them as opaque.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True, order=True)
+class Envelope:
+    """A single link-level transmission.
+
+    Ordering is by ``(deliver_time, sequence)`` so envelopes can be placed
+    directly on the simulator's priority queue; ``sequence`` breaks ties
+    deterministically, which keeps runs reproducible for a fixed seed.
+    """
+
+    deliver_time: float
+    sequence: int
+    send_time: float = field(compare=False)
+    sender: NodeId = field(compare=False)
+    receiver: NodeId = field(compare=False)
+    payload: Any = field(compare=False)
+
+    @property
+    def latency(self) -> float:
+        """Link latency experienced by this envelope."""
+        return self.deliver_time - self.send_time
+
+
+@dataclass(frozen=True, order=True)
+class TimerEvent:
+    """A local timer set by a process (used by round-based baselines).
+
+    Timers share the event queue with envelopes; they carry an opaque ``tag``
+    handed back to the owning process on expiry.
+    """
+
+    deliver_time: float
+    sequence: int
+    owner: NodeId = field(compare=False)
+    tag: Any = field(compare=False)

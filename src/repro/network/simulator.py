@@ -1,0 +1,242 @@
+"""Discrete-event simulator for asynchronous message-passing over a digraph.
+
+The simulator realizes the paper's system model (Section 2):
+
+* nodes communicate only along the directed edges of ``G``;
+* links are reliable — every sent message is eventually delivered exactly
+  once — but delays are arbitrary (controlled by a
+  :class:`~repro.network.delays.DelayModel`);
+* computation is event-driven: a process reacts to deliveries.
+
+Runs are deterministic for a fixed seed, delay model and protocol, which the
+test-suite relies on.  The simulator also exposes counters (events, messages,
+per-link traffic) consumed by the experiment metrics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple, Union
+
+from repro.exceptions import SchedulerError, SimulationError
+from repro.graphs.digraph import DiGraph
+from repro.network.delays import ConstantDelay, DelayModel
+from repro.network.message import Envelope, TimerEvent
+from repro.network.node import Context, Process
+
+NodeId = Hashable
+
+
+@dataclass
+class SimulationStats:
+    """Counters produced by a simulation run."""
+
+    delivered_messages: int = 0
+    sent_messages: int = 0
+    timer_events: int = 0
+    final_time: float = 0.0
+    terminated_early: bool = False
+    per_link_messages: Dict[Tuple[NodeId, NodeId], int] = field(default_factory=dict)
+
+    def link_count(self, sender: NodeId, receiver: NodeId) -> int:
+        """Messages delivered over a particular directed link."""
+        return self.per_link_messages.get((sender, receiver), 0)
+
+
+class Simulator:
+    """Event-driven simulation of processes on a directed communication graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication topology; an exception is raised when a process
+        tries to send over a non-existent edge.
+    delay_model:
+        Link-latency policy (default: constant delay of 1).
+    seed:
+        Seed of the simulator's private RNG (delay sampling); runs are
+        reproducible given the same seed and protocol behaviour.
+    fifo_links:
+        When ``True`` deliveries on each directed link preserve send order.
+        The paper's protocols implement FIFO at the protocol layer, so the
+        default is ``False`` (the harsher model).
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        delay_model: Optional[DelayModel] = None,
+        seed: Optional[int] = None,
+        fifo_links: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.delay_model = delay_model or ConstantDelay(1.0)
+        self.rng = random.Random(seed)
+        self.fifo_links = fifo_links
+        self.processes: Dict[NodeId, Process] = {}
+        self._queue: List[Union[Envelope, TimerEvent]] = []
+        self._sequence = 0
+        self._time = 0.0
+        self._started = False
+        self._last_delivery_per_link: Dict[Tuple[NodeId, NodeId], float] = {}
+        self.stats = SimulationStats()
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def add_process(self, process: Process) -> None:
+        """Register ``process`` on its node; the node must exist in the graph."""
+        node_id = process.node_id
+        if node_id not in self.graph:
+            raise SimulationError(f"node {node_id!r} is not part of the communication graph")
+        if node_id in self.processes:
+            raise SimulationError(f"node {node_id!r} already has a process")
+        self.processes[node_id] = process
+        process.bind(
+            Context(
+                node_id=node_id,
+                out_neighbors=self.graph.successors(node_id),
+                in_neighbors=self.graph.predecessors(node_id),
+                send=self._enqueue_message,
+                set_timer=self._enqueue_timer,
+                clock=lambda: self._time,
+            )
+        )
+
+    def add_processes(self, processes: Iterable[Process]) -> None:
+        """Register several processes at once."""
+        for process in processes:
+            self.add_process(process)
+
+    # ------------------------------------------------------------------
+    # event production
+    # ------------------------------------------------------------------
+    def _next_sequence(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    def _enqueue_message(self, sender: NodeId, receiver: NodeId, payload: Any) -> None:
+        latency = self.delay_model.delay(sender, receiver, payload, self._time, self.rng)
+        if latency <= 0:
+            raise SchedulerError("delay models must return strictly positive latencies")
+        deliver_time = self._time + latency
+        if self.fifo_links:
+            previous = self._last_delivery_per_link.get((sender, receiver), 0.0)
+            deliver_time = max(deliver_time, previous + 1e-9)
+            self._last_delivery_per_link[(sender, receiver)] = deliver_time
+        envelope = Envelope(
+            deliver_time=deliver_time,
+            sequence=self._next_sequence(),
+            send_time=self._time,
+            sender=sender,
+            receiver=receiver,
+            payload=payload,
+        )
+        heapq.heappush(self._queue, envelope)
+        self.stats.sent_messages += 1
+
+    def _enqueue_timer(self, owner: NodeId, delay: float, tag: Any) -> None:
+        event = TimerEvent(
+            deliver_time=self._time + delay,
+            sequence=self._next_sequence(),
+            owner=owner,
+            tag=tag,
+        )
+        heapq.heappush(self._queue, event)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._time
+
+    def pending_events(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def start(self) -> None:
+        """Invoke ``on_start`` on every registered process (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for node_id in sorted(self.processes, key=repr):
+            self.processes[node_id].on_start()
+
+    def step(self) -> bool:
+        """Deliver the next event.  Returns ``False`` when the queue is empty."""
+        if not self._started:
+            self.start()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._time = event.deliver_time
+        if isinstance(event, Envelope):
+            self.stats.delivered_messages += 1
+            key = (event.sender, event.receiver)
+            self.stats.per_link_messages[key] = self.stats.per_link_messages.get(key, 0) + 1
+            process = self.processes.get(event.receiver)
+            if process is not None:
+                process.messages_received += 1
+                process.on_message(event.sender, event.payload)
+        else:
+            self.stats.timer_events += 1
+            process = self.processes.get(event.owner)
+            if process is not None:
+                process.on_timer(event.tag)
+        return True
+
+    def run(
+        self,
+        max_events: Optional[int] = None,
+        max_time: Optional[float] = None,
+        stop_when: Optional[Any] = None,
+    ) -> SimulationStats:
+        """Run until quiescence or until a limit / stop predicate triggers.
+
+        Parameters
+        ----------
+        max_events:
+            Upper bound on delivered events (safety valve for protocols with
+            unbounded chatter).
+        max_time:
+            Upper bound on simulation time.
+        stop_when:
+            Optional zero-argument callable evaluated after every event; the
+            run stops as soon as it returns ``True`` (e.g. "all nonfaulty
+            processes decided").
+        """
+        self.start()
+        events = 0
+        while self._queue:
+            if max_events is not None and events >= max_events:
+                self.stats.terminated_early = True
+                break
+            if max_time is not None and self._queue[0].deliver_time > max_time:
+                self.stats.terminated_early = True
+                break
+            self.step()
+            events += 1
+            if stop_when is not None and stop_when():
+                break
+        self.stats.final_time = self._time
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def outputs(self) -> Dict[NodeId, Any]:
+        """Outputs of all decided processes."""
+        return {
+            node_id: process.output
+            for node_id, process in self.processes.items()
+            if process.decided
+        }
+
+    def all_decided(self, nodes: Optional[Iterable[NodeId]] = None) -> bool:
+        """``True`` when every process (or every process in ``nodes``) decided."""
+        targets = self.processes.keys() if nodes is None else nodes
+        return all(self.processes[node].decided for node in targets)

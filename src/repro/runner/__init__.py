@@ -1,0 +1,41 @@
+"""Experiment runner: drivers, metrics, sweeps and plain-text reporting."""
+
+from repro.runner.experiment import (
+    DEFAULT_MAX_EVENTS,
+    run_bw_experiment,
+    run_clique_experiment,
+    run_crash_experiment,
+    run_iterative_experiment,
+    run_local_average_experiment,
+)
+from repro.runner.harness import SweepResult, random_inputs, spread_inputs, sweep_behaviors
+from repro.runner.metrics import (
+    ConsensusOutcome,
+    aggregate_success_rate,
+    geometric_bound_satisfied,
+    per_round_ranges,
+    rounds_until,
+)
+from repro.runner.reporting import banner, format_check, format_table, print_table
+
+__all__ = [
+    "DEFAULT_MAX_EVENTS",
+    "run_bw_experiment",
+    "run_clique_experiment",
+    "run_crash_experiment",
+    "run_iterative_experiment",
+    "run_local_average_experiment",
+    "SweepResult",
+    "random_inputs",
+    "spread_inputs",
+    "sweep_behaviors",
+    "ConsensusOutcome",
+    "aggregate_success_rate",
+    "geometric_bound_satisfied",
+    "per_round_ranges",
+    "rounds_until",
+    "banner",
+    "format_check",
+    "format_table",
+    "print_table",
+]

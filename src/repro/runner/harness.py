@@ -1,0 +1,114 @@
+"""Sweep harness: run an experiment grid and aggregate the outcomes.
+
+The benchmarks sweep over seeds, Byzantine behaviours and fault placements.
+This module centralizes that bookkeeping so every benchmark produces the same
+kind of aggregate rows (success rate, worst range, mean messages, ...).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+
+from repro.adversary.adversary import FaultPlan
+from repro.adversary.behaviors import STANDARD_BEHAVIOR_FACTORIES
+from repro.adversary.placement import place_random
+from repro.algorithms.base import ConsensusConfig
+from repro.graphs.digraph import DiGraph
+from repro.runner.metrics import ConsensusOutcome, aggregate_success_rate
+
+NodeId = Hashable
+
+
+def random_inputs(
+    graph: DiGraph, low: float, high: float, seed: Optional[int] = None
+) -> Dict[NodeId, float]:
+    """Uniform random inputs in ``[low, high]`` for every node (seeded)."""
+    rng = random.Random(seed)
+    return {node: rng.uniform(low, high) for node in sorted(graph.nodes, key=repr)}
+
+
+def spread_inputs(graph: DiGraph, low: float, high: float) -> Dict[NodeId, float]:
+    """Deterministic evenly spread inputs covering the whole range."""
+    nodes = sorted(graph.nodes, key=repr)
+    if len(nodes) == 1:
+        return {nodes[0]: low}
+    step = (high - low) / (len(nodes) - 1)
+    return {node: low + index * step for index, node in enumerate(nodes)}
+
+
+@dataclass
+class SweepResult:
+    """Aggregate of a family of outcomes sharing one experimental cell."""
+
+    label: str
+    outcomes: List[ConsensusOutcome] = field(default_factory=list)
+
+    @property
+    def runs(self) -> int:
+        """Number of executions in the cell."""
+        return len(self.outcomes)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of runs satisfying all of Definition 1."""
+        return aggregate_success_rate(self.outcomes)
+
+    @property
+    def worst_range(self) -> float:
+        """Largest honest output range observed."""
+        return max((outcome.output_range for outcome in self.outcomes), default=0.0)
+
+    @property
+    def mean_messages(self) -> float:
+        """Mean delivered messages per run."""
+        if not self.outcomes:
+            return 0.0
+        return sum(outcome.messages_delivered for outcome in self.outcomes) / len(self.outcomes)
+
+    @property
+    def mean_rounds(self) -> float:
+        """Mean completed rounds per run."""
+        if not self.outcomes:
+            return 0.0
+        return sum(outcome.rounds for outcome in self.outcomes) / len(self.outcomes)
+
+    def as_row(self) -> List:
+        """Row used by the plain-text reporting helpers."""
+        worst = self.worst_range
+        worst_text = "inf" if worst == float("inf") else f"{worst:.4g}"
+        return [
+            self.label,
+            self.runs,
+            f"{self.success_rate:.2f}",
+            worst_text,
+            f"{self.mean_rounds:.1f}",
+            f"{self.mean_messages:.0f}",
+        ]
+
+
+def sweep_behaviors(
+    run_one: Callable[[FaultPlan, int, str], ConsensusOutcome],
+    graph: DiGraph,
+    f: int,
+    behaviors: Optional[Mapping[str, Callable]] = None,
+    seeds: Sequence[int] = (1, 2, 3),
+    placement_seed: int = 7,
+) -> List[SweepResult]:
+    """Run ``run_one`` for every behaviour × seed combination.
+
+    ``run_one(fault_plan, seed, behavior_name)`` must return an outcome; the
+    fault placement is random-but-seeded so every behaviour faces the same
+    faulty set per seed.
+    """
+    behaviors = dict(behaviors or STANDARD_BEHAVIOR_FACTORIES)
+    results: List[SweepResult] = []
+    for behavior_name, factory in behaviors.items():
+        cell = SweepResult(label=behavior_name)
+        for seed in seeds:
+            faulty = place_random(graph, f, seed=placement_seed + seed)
+            plan = FaultPlan(faulty, lambda node, factory=factory: factory(), seed=seed)
+            cell.outcomes.append(run_one(plan, seed, behavior_name))
+        results.append(cell)
+    return results

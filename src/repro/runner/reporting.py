@@ -1,0 +1,51 @@
+"""Plain-text reporting helpers.
+
+The benchmarks regenerate the paper's tables as aligned ASCII tables printed
+to stdout (and captured into ``bench_output.txt``); no plotting dependencies
+are required.  The helpers here keep the formatting consistent across all
+benchmarks and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned ASCII table with a header separator."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    headers = [str(header) for header in headers]
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[index]) for index, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|-" + "-|-".join("-" * width for width in widths) + "-|"
+    lines = [render_row(headers), separator]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_check(value: bool) -> str:
+    """Render a boolean as the table-friendly ``yes`` / ``no``."""
+    return "yes" if value else "no"
+
+
+def banner(title: str, width: int = 72) -> str:
+    """A section banner used between benchmark tables."""
+    bar = "=" * width
+    return f"{bar}\n{title}\n{bar}"
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Print (and return) a titled table — the standard benchmark output unit."""
+    text = f"{banner(title)}\n{format_table(headers, rows)}\n"
+    print(text)
+    return text

@@ -1,0 +1,72 @@
+"""Shared fixtures for the test-suite.
+
+Most fixtures are small graphs reused across modules; the expensive
+Byzantine-Witness integration runs share a module-scoped topology
+precomputation to keep the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import ConsensusConfig
+from repro.algorithms.topology import TopologyKnowledge
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import (
+    complete_digraph,
+    directed_cycle,
+    figure_1a,
+    figure_1b,
+)
+
+
+@pytest.fixture
+def triangle() -> DiGraph:
+    """The 3-clique (complete digraph on 3 nodes)."""
+    return complete_digraph(3)
+
+
+@pytest.fixture
+def clique4() -> DiGraph:
+    """The 4-clique — the smallest graph tolerating one Byzantine fault."""
+    return complete_digraph(4)
+
+
+@pytest.fixture
+def cycle5() -> DiGraph:
+    """A directed 5-cycle — strongly connected but fragile (no 2-reach for f=1)."""
+    return directed_cycle(5)
+
+
+@pytest.fixture
+def fig1a() -> DiGraph:
+    """The paper's Figure 1(a) graph (5-node wheel, bidirected)."""
+    return figure_1a()
+
+
+@pytest.fixture(scope="session")
+def fig1b() -> DiGraph:
+    """The paper's Figure 1(b) graph (two 7-node cliques + 8 directed edges)."""
+    return figure_1b()
+
+
+@pytest.fixture
+def diamond() -> DiGraph:
+    """A 4-node diamond: 0 → {1, 2} → 3 plus a feedback edge 3 → 0."""
+    graph = DiGraph(name="diamond")
+    graph.add_edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)])
+    return graph
+
+
+@pytest.fixture
+def basic_config() -> ConsensusConfig:
+    """A standard f=1 configuration used by algorithm unit tests."""
+    return ConsensusConfig(f=1, epsilon=0.25, input_low=0.0, input_high=1.0)
+
+
+@pytest.fixture(scope="session")
+def clique4_topology() -> TopologyKnowledge:
+    """Shared topology precomputation for the 4-clique (f=1, redundant policy)."""
+    topology = TopologyKnowledge(complete_digraph(4), 1, "redundant")
+    topology.precompute_all()
+    return topology

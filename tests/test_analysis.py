@@ -1,0 +1,156 @@
+"""Tests for the analysis layer: convergence bounds, feasibility, tables, necessity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.convergence import (
+    all_within_bound,
+    contraction_factors,
+    convergence_table,
+    required_rounds,
+    theoretical_bound,
+)
+from repro.analysis.feasibility import (
+    compare_undirected,
+    directed_feasibility_row,
+    equivalences_hold,
+    undirected_family_comparison,
+)
+from repro.analysis.necessity import (
+    build_schedule,
+    demonstrate_disagreement,
+    find_violation,
+)
+from repro.analysis.tables import render_table1, render_table2, table1_rows, table2_rows
+from repro.conditions.reach_conditions import check_three_reach
+from repro.graphs.generators import (
+    bidirected_cycle,
+    bidirected_wheel,
+    complete_digraph,
+    directed_cycle,
+    figure_1a,
+    star_out,
+)
+
+
+class TestConvergenceAnalysis:
+    def test_theoretical_bound(self):
+        assert theoretical_bound(1.0, 0) == 1.0
+        assert theoretical_bound(1.0, 3) == 0.125
+
+    def test_required_rounds(self):
+        assert required_rounds(1.0, 0.1) == 4
+        assert required_rounds(0.05, 0.1) == 0
+        with pytest.raises(ValueError):
+            required_rounds(1.0, 0.0)
+
+    def test_convergence_table(self):
+        rows = convergence_table([1.0, 0.5, 0.2])
+        assert len(rows) == 3
+        assert rows[2].theoretical_bound == pytest.approx(0.25)
+        assert all(row.within_bound for row in rows)
+        assert convergence_table([]) == []
+
+    def test_all_within_bound(self):
+        assert all_within_bound([1.0, 0.5, 0.25])
+        assert not all_within_bound([1.0, 0.9])
+
+    def test_contraction_factors(self):
+        factors = contraction_factors([1.0, 0.5, 0.1, 0.0, 0.0])
+        assert factors[0] == pytest.approx(0.5)
+        assert len(factors) == 3
+
+
+class TestFeasibilityAnalysis:
+    def test_undirected_comparison_consistent_on_wheel(self):
+        row = compare_undirected(bidirected_wheel(7), 1)
+        assert row.kappa == 3
+        assert row.classical_byz and row.reach_3
+        assert row.consistent
+
+    def test_undirected_comparison_cycle(self):
+        row = compare_undirected(bidirected_cycle(6), 1)
+        assert row.classical_crash_sync and row.reach_1
+        assert not row.classical_byz and not row.reach_3
+        assert row.consistent
+
+    def test_family_comparison(self):
+        rows = undirected_family_comparison([bidirected_cycle(5), bidirected_wheel(6)], [1])
+        assert len(rows) == 2
+        assert all(row.consistent for row in rows)
+
+    def test_directed_row_and_theorem17(self):
+        row = directed_feasibility_row(figure_1a(), 1)
+        assert row.verdict("3-reach") and row.verdict("byz/async")
+        assert equivalences_hold(row)
+        assert row.verdict("unknown-condition") is None
+
+    def test_directed_row_on_weak_graph(self):
+        row = directed_feasibility_row(directed_cycle(5), 1)
+        assert row.verdict("crash/sync")
+        assert not row.verdict("byz/async")
+        assert equivalences_hold(row)
+
+
+class TestTableRegeneration:
+    def test_table1_render(self):
+        rows = table1_rows([bidirected_cycle(5), bidirected_wheel(6)], [1])
+        text = render_table1(rows)
+        assert "kappa" in text and "wheel-6" in text
+        assert text.count("\n") >= 3
+
+    def test_table2_render(self):
+        rows = table2_rows([complete_digraph(4), directed_cycle(5)], [1])
+        text = render_table2(rows)
+        assert "byz/async (3-reach, this paper)" in text
+        assert "clique-4" in text and "cycle-5" in text
+
+
+class TestNecessity:
+    def test_no_violation_on_feasible_graph(self):
+        assert find_violation(complete_digraph(4), 1) is None
+
+    def test_violation_found_on_weak_graph(self):
+        violation = find_violation(directed_cycle(6), 1)
+        assert violation is not None
+        assert not (violation.reach_u & violation.reach_v)
+
+    def test_schedule_structure(self):
+        graph = directed_cycle(6)
+        violation = find_violation(graph, 1)
+        schedule = build_schedule(graph, violation, epsilon=1.0)
+        assert schedule.structural_facts_hold
+        assert schedule.e1.crashed == violation.fault_set_v
+        assert schedule.e2.crashed == violation.fault_set_u
+        assert schedule.e3.byzantine == violation.shared_fault_set
+        assert set(schedule.e3.inputs) == set(graph.nodes)
+        # Inputs of e3: 0 on reach_v, epsilon on reach_u.
+        assert all(schedule.e3.inputs[node] == 0.0 for node in violation.reach_v)
+        assert all(schedule.e3.inputs[node] == 1.0 for node in violation.reach_u)
+
+    def test_schedule_epsilon_validation(self):
+        graph = directed_cycle(6)
+        violation = find_violation(graph, 1)
+        with pytest.raises(Exception):
+            build_schedule(graph, violation, epsilon=0.0)
+
+    def test_disagreement_demonstration_cycle(self):
+        graph = directed_cycle(6)
+        violation = find_violation(graph, 1)
+        result = demonstrate_disagreement(graph, violation, epsilon=1.0, rounds=15)
+        assert result.convergence_violated
+        assert result.disagreement >= 1.0 - 1e-9
+
+    def test_disagreement_demonstration_star(self):
+        graph = star_out(5)
+        assert not check_three_reach(graph, 1).holds
+        violation = find_violation(graph, 1)
+        result = demonstrate_disagreement(graph, violation, epsilon=0.5, rounds=10)
+        assert result.convergence_violated
+
+    def test_disagreement_respects_rounds_argument(self):
+        graph = directed_cycle(6)
+        violation = find_violation(graph, 1)
+        result = demonstrate_disagreement(graph, violation, epsilon=1.0, rounds=3)
+        assert result.rounds == 3

@@ -1,0 +1,199 @@
+"""Integration tests for the Byzantine-Witness algorithm (Algorithm 1).
+
+These tests run the full event-driven protocol on small graphs satisfying
+3-reach and check the three properties of Definition 1 under a variety of
+Byzantine behaviours, delay models and fault placements, plus the per-round
+geometric contraction of Lemma 15.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.adversary import FaultPlan, no_faults
+from repro.adversary.behaviors import (
+    CrashBehavior,
+    EquivocateBehavior,
+    FixedValueBehavior,
+    OffsetValueBehavior,
+    RandomValueBehavior,
+)
+from repro.algorithms.base import ConsensusConfig
+from repro.algorithms.bw import BWProcess, create_bw_processes
+from repro.algorithms.topology import TopologyKnowledge
+from repro.exceptions import InfeasibleTopologyError, ProtocolError
+from repro.graphs.generators import clique_with_feeders, complete_digraph, directed_cycle, figure_1a
+from repro.network.delays import ConstantDelay, ExponentialDelay, UniformDelay
+from repro.network.simulator import Simulator
+from repro.runner.metrics import geometric_bound_satisfied, per_round_ranges
+
+
+def run_bw(graph, inputs, f, epsilon, faulty=(), behavior=None, seed=1,
+           policy="redundant", delay=None, topology=None):
+    """Minimal driver used by the tests (the runner package has a richer one)."""
+    config = ConsensusConfig(
+        f=f, epsilon=epsilon,
+        input_low=min(inputs.values()), input_high=max(inputs.values()),
+        path_policy=policy,
+    )
+    shared = topology or TopologyKnowledge(graph, f, policy)
+    processes = create_bw_processes(graph, inputs, config, topology=shared)
+    plan = FaultPlan(frozenset(faulty), lambda node: behavior()) if faulty else no_faults()
+    wrapped = plan.apply(processes)
+    simulator = Simulator(graph, delay or UniformDelay(0.5, 2.0), seed=seed)
+    simulator.add_processes(wrapped.values())
+    simulator.run(max_events=3_000_000)
+    honest = {node: processes[node] for node in graph.nodes if node not in set(faulty)}
+    return honest, config
+
+
+def assert_definition1(honest, config, inputs, faulty=()):
+    """Assert Termination + Convergence + Validity for the honest processes."""
+    outputs = {node: process.output for node, process in honest.items()}
+    assert all(process.decided for process in honest.values()), "termination violated"
+    values = list(outputs.values())
+    assert max(values) - min(values) < config.epsilon, "convergence violated"
+    honest_inputs = [inputs[node] for node in honest]
+    low, high = min(honest_inputs), max(honest_inputs)
+    assert all(low - 1e-9 <= value <= high + 1e-9 for value in values), "validity violated"
+
+
+class TestFaultFree:
+    def test_clique_no_faults(self, clique4_topology):
+        graph = complete_digraph(4)
+        inputs = {0: 0.0, 1: 1.0, 2: 0.25, 3: 0.75}
+        honest, config = run_bw(graph, inputs, f=1, epsilon=0.2, topology=clique4_topology)
+        assert_definition1(honest, config, inputs)
+
+    def test_zero_rounds_when_inputs_already_close(self):
+        graph = complete_digraph(4)
+        inputs = {0: 0.5, 1: 0.5, 2: 0.5, 3: 0.5}
+        honest, config = run_bw(graph, inputs, f=1, epsilon=0.3)
+        assert config.rounds_needed() == 0
+        assert all(process.output == 0.5 for process in honest.values())
+
+    def test_geometric_contraction(self, clique4_topology):
+        graph = complete_digraph(4)
+        inputs = {0: 0.0, 1: 1.0, 2: 0.5, 3: 0.9}
+        honest, config = run_bw(graph, inputs, f=1, epsilon=0.05, topology=clique4_topology)
+        ranges = per_round_ranges({node: process.value_history for node, process in honest.items()})
+        assert len(ranges) >= 4
+        assert geometric_bound_satisfied(ranges, initial_range=1.0)
+
+    def test_value_history_length_matches_rounds(self, clique4_topology):
+        graph = complete_digraph(4)
+        inputs = {0: 0.0, 1: 1.0, 2: 0.4, 3: 0.6}
+        honest, config = run_bw(graph, inputs, f=1, epsilon=0.2, topology=clique4_topology)
+        for process in honest.values():
+            assert process.rounds_completed == config.rounds_needed()
+            assert len(process.value_history) == config.rounds_needed() + 1
+            assert process.round_filter_result(0) is not None
+
+
+class TestByzantineBehaviours:
+    INPUTS = {0: 0.0, 1: 1.0, 2: 0.3, 3: 0.7}
+
+    @pytest.mark.parametrize(
+        "behavior",
+        [
+            CrashBehavior,
+            lambda: FixedValueBehavior(1e6),
+            lambda: FixedValueBehavior(-1e6),
+            lambda: RandomValueBehavior(-100, 100),
+            lambda: EquivocateBehavior(default_offset=10.0),
+            lambda: OffsetValueBehavior(5.0),
+        ],
+        ids=["crash", "fixed-high", "fixed-low", "random", "equivocate", "offset"],
+    )
+    def test_clique_with_one_byzantine(self, behavior, clique4_topology):
+        graph = complete_digraph(4)
+        honest, config = run_bw(
+            graph, self.INPUTS, f=1, epsilon=0.25, faulty={3}, behavior=behavior,
+            topology=clique4_topology,
+        )
+        assert_definition1(honest, config, self.INPUTS, faulty={3})
+
+    def test_every_fault_placement_on_clique(self, clique4_topology):
+        graph = complete_digraph(4)
+        for faulty_node in graph.nodes:
+            honest, config = run_bw(
+                graph, self.INPUTS, f=1, epsilon=0.25,
+                faulty={faulty_node}, behavior=lambda: FixedValueBehavior(50.0),
+                topology=clique4_topology, seed=faulty_node,
+            )
+            assert_definition1(honest, config, self.INPUTS, faulty={faulty_node})
+
+    def test_different_delay_models(self, clique4_topology):
+        graph = complete_digraph(4)
+        for delay in (ConstantDelay(1.0), UniformDelay(0.1, 5.0), ExponentialDelay(1.0)):
+            honest, config = run_bw(
+                graph, self.INPUTS, f=1, epsilon=0.25, faulty={2},
+                behavior=lambda: EquivocateBehavior({0: -10.0, 1: 10.0}),
+                delay=delay, topology=clique4_topology,
+            )
+            assert_definition1(honest, config, self.INPUTS, faulty={2})
+
+
+class TestDirectedGraphs:
+    def test_figure_1a_with_byzantine_node(self):
+        graph = figure_1a()
+        inputs = {"v1": 0.0, "v2": 1.0, "v3": 0.5, "v4": 0.2, "v5": 0.8}
+        honest, config = run_bw(
+            graph, inputs, f=1, epsilon=0.3, faulty={"v4"},
+            behavior=lambda: FixedValueBehavior(-99.0),
+        )
+        assert_definition1(honest, config, inputs, faulty={"v4"})
+
+    def test_genuinely_directed_graph(self):
+        graph = clique_with_feeders(4, 1)
+        inputs = {node: index / 4 for index, node in enumerate(sorted(graph.nodes))}
+        honest, config = run_bw(
+            graph, inputs, f=1, epsilon=0.3, faulty={"c0"},
+            behavior=lambda: EquivocateBehavior(default_offset=3.0), policy="simple",
+        )
+        assert_definition1(honest, config, inputs, faulty={"c0"})
+
+    def test_simple_policy_matches_redundant_on_clique(self, clique4_topology):
+        graph = complete_digraph(4)
+        inputs = {0: 0.0, 1: 1.0, 2: 0.4, 3: 0.6}
+        honest_simple, config = run_bw(graph, inputs, f=1, epsilon=0.2, policy="simple")
+        honest_redundant, _ = run_bw(graph, inputs, f=1, epsilon=0.2, topology=clique4_topology)
+        assert_definition1(honest_simple, config, inputs)
+        assert_definition1(honest_redundant, config, inputs)
+
+
+class TestConfigurationAndErrors:
+    def test_strict_topology_check_rejects_weak_graph(self):
+        graph = directed_cycle(4)
+        config = ConsensusConfig(f=1, epsilon=0.1, strict_topology_check=True)
+        with pytest.raises(InfeasibleTopologyError):
+            BWProcess(0, graph, 0.5, config)
+
+    def test_strict_topology_check_accepts_clique(self):
+        graph = complete_digraph(4)
+        config = ConsensusConfig(f=1, epsilon=0.1, strict_topology_check=True)
+        assert BWProcess(0, graph, 0.5, config).total_rounds == config.rounds_needed()
+
+    def test_input_outside_declared_range_rejected(self):
+        graph = complete_digraph(4)
+        config = ConsensusConfig(f=1, epsilon=0.1, input_low=0.0, input_high=1.0)
+        with pytest.raises(ProtocolError):
+            BWProcess(0, graph, 5.0, config)
+
+    def test_create_processes_requires_all_inputs(self):
+        graph = complete_digraph(3)
+        config = ConsensusConfig(f=0, epsilon=0.1)
+        with pytest.raises(ProtocolError):
+            create_bw_processes(graph, {0: 0.1}, config)
+
+    def test_rounds_needed_formula(self):
+        config = ConsensusConfig(f=1, epsilon=0.1, input_low=0.0, input_high=1.0)
+        assert config.rounds_needed() == 4  # 1/2^4 = 0.0625 < 0.1
+        assert ConsensusConfig(f=1, epsilon=2.0, input_low=0.0, input_high=1.0).rounds_needed() == 0
+        assert ConsensusConfig(f=1, epsilon=0.1, max_rounds=2).rounds_needed() == 2
+
+    def test_repr_mentions_progress(self):
+        graph = complete_digraph(4)
+        config = ConsensusConfig(f=1, epsilon=0.5)
+        process = BWProcess(0, graph, 0.5, config)
+        assert "BWProcess" in repr(process)

@@ -1,0 +1,77 @@
+"""Unit tests for condition certificates and report objects."""
+
+from __future__ import annotations
+
+from repro.conditions.certificates import (
+    ConditionReport,
+    FeasibilityRow,
+    PartitionViolation,
+    ReachViolation,
+)
+
+
+def make_reach_violation():
+    return ReachViolation(
+        u="u",
+        v="v",
+        shared_fault_set=frozenset({"f"}),
+        fault_set_u=frozenset({"a"}),
+        fault_set_v=frozenset({"b"}),
+        reach_u=frozenset({"u", "x"}),
+        reach_v=frozenset({"v", "y"}),
+    )
+
+
+class TestReachViolation:
+    def test_excluded_sets_are_unions(self):
+        violation = make_reach_violation()
+        assert violation.excluded_for_u() == frozenset({"f", "a"})
+        assert violation.excluded_for_v() == frozenset({"f", "b"})
+
+    def test_describe_mentions_everything(self):
+        text = make_reach_violation().describe()
+        assert "'u'" in text and "'v'" in text and "Fu=" in text and "Fv=" in text
+
+
+class TestPartitionViolation:
+    def test_describe(self):
+        violation = PartitionViolation(
+            fault_set=frozenset({"f"}),
+            left=frozenset({"l"}),
+            center=frozenset(),
+            right=frozenset({"r"}),
+            left_incoming=0,
+            right_incoming=1,
+        )
+        text = violation.describe()
+        assert "L=" in text and "R=" in text and "incoming 1" in text
+
+
+class TestConditionReport:
+    def test_bool_and_violation_accessor(self):
+        holds = ConditionReport(condition="3-reach", f=1, holds=True)
+        assert bool(holds) and holds.violation is None
+
+        violated = ConditionReport(
+            condition="3-reach", f=1, holds=False, reach_violation=make_reach_violation()
+        )
+        assert not bool(violated)
+        assert violated.violation is violated.reach_violation
+
+    def test_describe_includes_status_and_witness(self):
+        report = ConditionReport(
+            condition="2-reach", f=2, holds=False, reach_violation=make_reach_violation()
+        )
+        text = report.describe()
+        assert "VIOLATED" in text and "2-reach" in text and "reach" in text
+        assert "HOLDS" in ConditionReport(condition="CCS", f=0, holds=True).describe()
+
+
+class TestFeasibilityRow:
+    def test_verdict_lookup(self):
+        row = FeasibilityRow(
+            graph_name="g", n=5, f=1, verdicts=(("3-reach", True), ("CCA", False))
+        )
+        assert row.verdict("3-reach") is True
+        assert row.verdict("CCA") is False
+        assert row.verdict("missing") is None

@@ -1,0 +1,94 @@
+"""Unit tests for the Completeness condition (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.completeness import completeness, completeness_deficit
+from repro.algorithms.messagesets import MessageSet
+from repro.algorithms.topology import TopologyKnowledge
+from repro.graphs.generators import complete_digraph
+
+
+@pytest.fixture(scope="module")
+def topology4():
+    return TopologyKnowledge(complete_digraph(4), 1, "redundant")
+
+
+def fill_from_all_paths(topology, node, values):
+    """Build a message set as if every redundant path delivered the origin's value."""
+    message_set = MessageSet()
+    for path in topology.required_paths(node, frozenset()):
+        message_set.add(values[path[0]], path)
+    return message_set
+
+
+class TestCompleteness:
+    def test_complete_when_every_value_confirmed_from_everywhere(self, topology4):
+        values = {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}
+        message_set = fill_from_all_paths(topology4, 0, values)
+        assert completeness(message_set, values, frozenset({3}), topology4, evaluating_node=0)
+
+    def test_incomplete_when_witness_misses_a_source_value(self, topology4):
+        values = {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}
+        message_set = fill_from_all_paths(topology4, 0, values)
+        witness_values = {0: 0.0, 1: 1.0}  # missing source-component members
+        assert not completeness(message_set, witness_values, frozenset({3}), topology4, 0)
+
+    def test_incomplete_when_local_confirmations_are_coverable(self, topology4):
+        # Node 0 only heard node 2's value through paths whose second-to-last
+        # hop is node 1, so the single fault candidate {1} could have forged
+        # them all.
+        values = {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}
+        message_set = MessageSet()
+        message_set.add(values[0], (0,))
+        message_set.add(values[1], (1, 0))
+        message_set.add(values[3], (3, 0))
+        message_set.add(values[2], (2, 1, 0))  # only via node 1
+        assert not completeness(message_set, values, frozenset({3}), topology4, 0)
+
+    def test_complete_once_disjoint_confirmation_arrives(self, topology4):
+        values = {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}
+        message_set = MessageSet()
+        message_set.add(values[0], (0,))
+        message_set.add(values[1], (1, 0))
+        message_set.add(values[3], (3, 0))
+        message_set.add(values[2], (2, 1, 0))
+        message_set.add(values[2], (2, 0))  # direct, bypassing node 1
+        message_set.add(values[1], (1, 2, 0))
+        message_set.add(values[3], (3, 1, 0))
+        message_set.add(values[1], (1, 3, 0))
+        message_set.add(values[3], (3, 2, 0))
+        message_set.add(values[2], (2, 3, 0))
+        assert completeness(message_set, values, frozenset({3}), topology4, 0)
+
+    def test_mismatched_witness_value_blocks_completeness(self, topology4):
+        values = {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}
+        message_set = fill_from_all_paths(topology4, 0, values)
+        lying_witness = dict(values)
+        lying_witness[2] = 99.0  # nobody confirms this value locally
+        assert not completeness(message_set, lying_witness, frozenset({3}), topology4, 0)
+
+
+class TestDeficitDiagnostics:
+    def test_deficit_empty_when_complete(self, topology4):
+        values = {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}
+        message_set = fill_from_all_paths(topology4, 0, values)
+        assert completeness_deficit(message_set, values, frozenset({3}), topology4, 0) == {}
+
+    def test_deficit_reports_missing_witness_value(self, topology4):
+        values = {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}
+        message_set = fill_from_all_paths(topology4, 0, values)
+        witness_values = {node: value for node, value in values.items() if node != 2}
+        deficits = completeness_deficit(message_set, witness_values, frozenset({3}), topology4, 0)
+        assert deficits.get(2, "absent") is None
+
+    def test_deficit_reports_cover(self, topology4):
+        values = {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}
+        message_set = MessageSet()
+        message_set.add(values[0], (0,))
+        message_set.add(values[1], (1, 0))
+        message_set.add(values[3], (3, 0))
+        message_set.add(values[2], (2, 1, 0))
+        deficits = completeness_deficit(message_set, values, frozenset({3}), topology4, 0)
+        assert 2 in deficits and deficits[2] == frozenset({1})

@@ -1,0 +1,210 @@
+"""Unit tests for the DiGraph substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graphs.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = DiGraph()
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+        assert graph.nodes == []
+        assert graph.edges == []
+
+    def test_nodes_and_edges_constructor(self):
+        graph = DiGraph(nodes=[1, 2], edges=[(1, 2), (2, 3)])
+        assert set(graph.nodes) == {1, 2, 3}
+        assert graph.has_edge(1, 2) and graph.has_edge(2, 3)
+
+    def test_add_edge_adds_endpoints(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b")
+        assert graph.has_node("a") and graph.has_node("b")
+        assert graph.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        graph = DiGraph()
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1)
+
+    def test_duplicate_edge_is_idempotent(self):
+        graph = DiGraph(edges=[(1, 2), (1, 2)])
+        assert graph.num_edges == 1
+
+    def test_add_bidirectional_edge(self):
+        graph = DiGraph()
+        graph.add_bidirectional_edge(1, 2)
+        assert graph.has_edge(1, 2) and graph.has_edge(2, 1)
+
+    def test_len_and_contains(self):
+        graph = DiGraph(nodes=[1, 2, 3])
+        assert len(graph) == 3
+        assert 2 in graph and 9 not in graph
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        graph = DiGraph(edges=[(1, 2)])
+        graph.remove_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+        assert graph.has_node(1) and graph.has_node(2)
+
+    def test_remove_missing_edge_raises(self):
+        graph = DiGraph(nodes=[1, 2])
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(1, 2)
+
+    def test_remove_node_removes_incident_edges(self):
+        graph = DiGraph(edges=[(1, 2), (2, 3), (3, 1)])
+        graph.remove_node(2)
+        assert 2 not in graph
+        assert graph.has_edge(3, 1)
+        assert not graph.has_edge(1, 2)
+        assert graph.num_edges == 1
+
+    def test_remove_missing_node_raises(self):
+        graph = DiGraph()
+        with pytest.raises(NodeNotFoundError):
+            graph.remove_node(7)
+
+
+class TestNeighborhoods:
+    def test_successors_predecessors(self, diamond):
+        assert diamond.successors(0) == frozenset({1, 2})
+        assert diamond.predecessors(3) == frozenset({1, 2})
+        assert diamond.in_neighbors(0) == frozenset({3})
+        assert diamond.out_neighbors(3) == frozenset({0})
+
+    def test_degrees(self, diamond):
+        assert diamond.out_degree(0) == 2
+        assert diamond.in_degree(0) == 1
+        assert diamond.in_degree(3) == 2
+
+    def test_unknown_node_raises(self, diamond):
+        with pytest.raises(NodeNotFoundError):
+            diamond.successors(99)
+
+    def test_set_neighborhoods(self, diamond):
+        assert diamond.in_neighborhood_of_set({1, 2}) == frozenset({0})
+        assert diamond.out_neighborhood_of_set({1, 2}) == frozenset({3})
+        assert diamond.in_neighborhood_of_set({0, 1, 2, 3}) == frozenset()
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self, diamond):
+        clone = diamond.copy()
+        clone.add_edge(1, 2)
+        assert not diamond.has_edge(1, 2)
+        assert clone.has_edge(1, 2)
+
+    def test_induced_subgraph(self, diamond):
+        sub = diamond.induced_subgraph({0, 1, 3})
+        assert set(sub.nodes) == {0, 1, 3}
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 3) and sub.has_edge(3, 0)
+        assert not sub.has_edge(0, 2)
+
+    def test_induced_subgraph_ignores_unknown_nodes(self, diamond):
+        sub = diamond.induced_subgraph({0, 1, 42})
+        assert set(sub.nodes) == {0, 1}
+
+    def test_exclude_nodes(self, diamond):
+        sub = diamond.exclude_nodes({3})
+        assert set(sub.nodes) == {0, 1, 2}
+        assert sub.num_edges == 2
+
+    def test_remove_outgoing_edges_keeps_vertices(self, diamond):
+        reduced = diamond.remove_outgoing_edges_of({0})
+        assert set(reduced.nodes) == set(diamond.nodes)
+        assert not reduced.has_edge(0, 1) and not reduced.has_edge(0, 2)
+        assert reduced.has_edge(3, 0)
+
+    def test_reverse(self, diamond):
+        rev = diamond.reverse()
+        assert rev.has_edge(1, 0) and rev.has_edge(3, 1) and rev.has_edge(0, 3)
+        assert rev.num_edges == diamond.num_edges
+
+    def test_is_bidirectional(self):
+        graph = DiGraph()
+        graph.add_bidirectional_edge(1, 2)
+        assert graph.is_bidirectional()
+        graph.add_edge(2, 3)
+        assert not graph.is_bidirectional()
+
+
+class TestReachability:
+    def test_descendants_ancestors(self, diamond):
+        assert diamond.descendants(0) == frozenset({1, 2, 3})
+        assert diamond.ancestors(3) == frozenset({0, 1, 2})
+
+    def test_has_path(self, diamond):
+        assert diamond.has_path(0, 3)
+        assert diamond.has_path(3, 2)
+        assert diamond.has_path(1, 1)
+
+    def test_no_path(self):
+        graph = DiGraph(edges=[(1, 2)])
+        graph.add_node(3)
+        assert not graph.has_path(1, 3)
+        assert not graph.has_path(2, 1)
+
+    def test_shortest_path(self, diamond):
+        path = diamond.shortest_path(0, 3)
+        assert path is not None
+        assert path[0] == 0 and path[-1] == 3 and len(path) == 3
+
+    def test_shortest_path_trivial_and_missing(self):
+        graph = DiGraph(edges=[(1, 2)])
+        graph.add_node(3)
+        assert graph.shortest_path(1, 1) == [1]
+        assert graph.shortest_path(2, 3) is None
+
+
+class TestStronglyConnectedComponents:
+    def test_cycle_is_one_component(self):
+        graph = DiGraph(edges=[(0, 1), (1, 2), (2, 0)])
+        components = graph.strongly_connected_components()
+        assert len(components) == 1
+        assert components[0] == frozenset({0, 1, 2})
+
+    def test_dag_components_are_singletons(self):
+        graph = DiGraph(edges=[(0, 1), (1, 2)])
+        components = graph.strongly_connected_components()
+        assert len(components) == 3
+
+    def test_condensation(self):
+        graph = DiGraph(edges=[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)])
+        components, dag = graph.condensation()
+        assert len(components) == 2
+        assert dag.num_edges == 1
+
+    def test_is_strongly_connected(self, diamond, cycle5):
+        assert diamond.is_strongly_connected()
+        assert cycle5.is_strongly_connected()
+        assert not DiGraph(edges=[(0, 1)]).is_strongly_connected()
+        assert not DiGraph().is_strongly_connected()
+
+    def test_mixed_graph_component_count(self):
+        # Two 2-cycles joined by a one-way bridge plus an isolated node.
+        graph = DiGraph(edges=[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)])
+        graph.add_node(4)
+        components = graph.strongly_connected_components()
+        assert len(components) == 3
+
+
+class TestEqualityAndRepr:
+    def test_equality(self):
+        a = DiGraph(edges=[(1, 2), (2, 3)])
+        b = DiGraph(edges=[(2, 3), (1, 2)])
+        assert a == b
+        b.add_edge(3, 1)
+        assert a != b
+
+    def test_repr_and_summary(self, diamond):
+        assert "DiGraph" in repr(diamond)
+        text = diamond.summary()
+        assert "nodes: 4" in text and "edges: 5" in text

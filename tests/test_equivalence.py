@@ -1,0 +1,103 @@
+"""Tests for the Theorem 17 equivalences and the literal reach oracles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions.equivalence import (
+    all_equivalences_agree,
+    verify_all_equivalences,
+    verify_bcs_three_reach,
+    verify_cca_two_reach,
+    verify_ccs_one_reach,
+)
+from repro.conditions.naive import (
+    check_one_reach_naive,
+    check_three_reach_naive,
+    check_two_reach_naive,
+)
+from repro.conditions.reach_conditions import (
+    check_one_reach,
+    check_three_reach,
+    check_two_reach,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import (
+    clique_with_feeders,
+    complete_digraph,
+    directed_cycle,
+    figure_1a,
+    random_digraph,
+    star_out,
+    two_cliques_bridged,
+)
+
+SMALL_GRAPHS = [
+    complete_digraph(4),
+    directed_cycle(5),
+    star_out(5),
+    figure_1a(),
+    clique_with_feeders(3, 2),
+    two_cliques_bridged(3, 2, 2),
+    DiGraph(edges=[(0, 1), (1, 2), (2, 0), (0, 3), (3, 0), (3, 2)]),
+]
+
+
+class TestTheorem17:
+    @pytest.mark.parametrize("f", [0, 1, 2])
+    def test_equivalences_on_structured_graphs(self, f):
+        for graph in SMALL_GRAPHS:
+            assert all_equivalences_agree(graph, f), (graph.name, f)
+
+    def test_equivalences_on_random_digraphs(self):
+        for seed in range(8):
+            graph = random_digraph(6, 0.35, seed=seed, ensure_connected=(seed % 2 == 0))
+            for f in (0, 1):
+                results = verify_all_equivalences(graph, f)
+                assert all(result.agree for result in results), (seed, f)
+
+    def test_individual_pair_helpers(self):
+        graph = figure_1a()
+        assert verify_ccs_one_reach(graph, 1).agree
+        assert verify_cca_two_reach(graph, 1).agree
+        assert verify_bcs_three_reach(graph, 1).agree
+
+    def test_describe_mentions_verdicts(self):
+        result = verify_bcs_three_reach(complete_digraph(4), 1)
+        text = result.describe()
+        assert "AGREE" in text and "3-reach" in text
+
+    def test_results_expose_reports(self):
+        result = verify_bcs_three_reach(complete_digraph(3), 1)
+        assert result.agree
+        assert not result.reach_report.holds
+        assert not result.partition_report.holds
+
+
+class TestNaiveOracles:
+    @pytest.mark.parametrize("f", [0, 1])
+    def test_naive_matches_optimized_on_small_graphs(self, f):
+        graphs = [
+            complete_digraph(4),
+            directed_cycle(4),
+            star_out(4),
+            DiGraph(edges=[(0, 1), (1, 2), (2, 0), (2, 3), (3, 0)]),
+        ]
+        for graph in graphs:
+            assert check_one_reach_naive(graph, f).holds == check_one_reach(graph, f).holds
+            assert check_two_reach_naive(graph, f).holds == check_two_reach(graph, f).holds
+            assert check_three_reach_naive(graph, f).holds == check_three_reach(graph, f).holds
+
+    def test_naive_matches_on_random_graphs(self):
+        for seed in range(5):
+            graph = random_digraph(5, 0.4, seed=seed)
+            assert (
+                check_three_reach_naive(graph, 1).holds
+                == check_three_reach(graph, 1).holds
+            )
+
+    def test_naive_violation_certificate(self):
+        report = check_three_reach_naive(complete_digraph(3), 1)
+        assert not report.holds
+        violation = report.reach_violation
+        assert not (violation.reach_u & violation.reach_v)

@@ -1,0 +1,26 @@
+"""Smoke tests: every shipped example runs end-to-end and its assertions hold."""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    names = {path.name for path in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLE_FILES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda path: path.stem)
+def test_example_runs(path, capsys):
+    # Each example is a self-checking script: it asserts its own claims and
+    # prints a human-readable report.
+    runpy.run_path(str(path), run_name="__main__")
+    captured = capsys.readouterr()
+    assert captured.out.strip(), f"{path.name} produced no output"

@@ -1,0 +1,77 @@
+"""Reproduction checks for the paper's Figure 1 and its surrounding claims.
+
+Figure 1(a): a 5-node undirected graph where synchronous exact Byzantine
+consensus is feasible for f = 1 — all-pair RMT is possible (κ(G) = 3 ≥ 2f+1)
+and removing any edge breaks it.
+
+Figure 1(b): two 7-node cliques plus eight directed edges, f = 2 — some node
+pairs are joined by only 2f = 4 vertex-disjoint paths (so all-pair RMT is
+impossible) yet the 3-reach condition holds and consensus is achievable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions.partition_conditions import check_bcs
+from repro.conditions.reach_conditions import check_three_reach, max_tolerable_f
+from repro.graphs.flow import max_vertex_disjoint_paths
+from repro.graphs.generators import figure_1a, figure_1b, two_cliques_bridged
+from repro.graphs.properties import critical_edges_for_connectivity, undirected_vertex_connectivity
+
+
+class TestFigure1a:
+    def test_all_pair_rmt_possible(self):
+        graph = figure_1a()
+        # κ(G) = 3 = 2f + 1 for f = 1: every pair has 3 vertex-disjoint routes.
+        assert undirected_vertex_connectivity(graph) == 3
+        for u in graph.nodes:
+            for v in graph.nodes:
+                if u != v:
+                    assert max_vertex_disjoint_paths(graph, u, v) >= 3
+
+    def test_feasible_for_one_byzantine_fault(self):
+        graph = figure_1a()
+        assert check_three_reach(graph, 1).holds
+        assert max_tolerable_f(graph, k=3) == 1
+
+    def test_not_feasible_for_two_faults(self):
+        assert not check_three_reach(figure_1a(), 2).holds
+
+    def test_removing_any_edge_breaks_feasibility(self):
+        # "removing any edge will reduce κ(G), which will make both RMT and
+        #  consensus impossible" (Section 1).
+        graph = figure_1a()
+        assert len(critical_edges_for_connectivity(graph, threshold=3)) == 8
+        for u, v in list({tuple(sorted(edge)) for edge in graph.to_undirected_edges()}):
+            trimmed = graph.copy()
+            trimmed.remove_edge(u, v)
+            trimmed.remove_edge(v, u)
+            assert not check_three_reach(trimmed, 1).holds, (u, v)
+
+
+class TestFigure1b:
+    def test_structure(self, fig1b):
+        assert fig1b.num_nodes == 14
+        assert fig1b.num_edges == 2 * 2 * 21 + 8
+
+    def test_limited_disjoint_paths_block_rmt(self, fig1b):
+        # Only 2f = 4 vertex-disjoint (v1, w1)-paths: fewer than the 2f + 1
+        # needed for reliable message transmission, so all-pair RMT fails.
+        assert max_vertex_disjoint_paths(fig1b, "v1", "w1") == 4
+
+    def test_three_reach_holds_for_two_faults(self, fig1b):
+        report = check_three_reach(fig1b, 2)
+        assert report.holds
+
+    def test_bcs_agrees_for_two_faults(self, fig1b):
+        assert check_bcs(fig1b, 2).holds
+
+    def test_three_reach_fails_for_three_faults(self, fig1b):
+        assert not check_three_reach(fig1b, 3).holds
+
+    def test_parametric_family_needs_enough_bridges(self):
+        # With only 2 bridges per direction the two-clique construction cannot
+        # tolerate 1 Byzantine fault... it actually needs > 2f bridges.
+        assert not check_three_reach(two_cliques_bridged(5, 2, 2), 2).holds
+        assert check_three_reach(two_cliques_bridged(5, 3, 3), 1).holds

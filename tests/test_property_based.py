@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.baselines.iterative import trimmed_mean_update
+from repro.algorithms.filter_average import filter_and_average
+from repro.algorithms.messagesets import MessageSet
+from repro.conditions.partition_conditions import check_bcs, check_cca, check_ccs
+from repro.conditions.reach_conditions import (
+    check_k_reach,
+    check_one_reach,
+    check_three_reach,
+    check_two_reach,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.paths import find_f_cover, is_cover, is_redundant, is_simple
+from repro.graphs.reach import reach_set, source_component
+
+SETTINGS = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def small_digraphs(draw, max_nodes=6):
+    """Random simple digraphs with 2..max_nodes nodes."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    graph = DiGraph(nodes=range(n))
+    for u in range(n):
+        for v in range(n):
+            if u != v and draw(st.booleans()):
+                graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def node_sequences(draw):
+    """Short sequences over a small alphabet, interpreted as candidate paths."""
+    return tuple(draw(st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=8)))
+
+
+@st.composite
+def path_sets(draw):
+    """Small families of paths over a small alphabet."""
+    count = draw(st.integers(min_value=0, max_value=5))
+    return [
+        tuple(draw(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=4)))
+        for _ in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# path invariants
+# ----------------------------------------------------------------------
+class TestPathProperties:
+    @SETTINGS
+    @given(node_sequences())
+    def test_simple_implies_redundant(self, path):
+        if is_simple(path):
+            assert is_redundant(path)
+
+    @SETTINGS
+    @given(node_sequences())
+    def test_redundant_matches_split_definition(self, path):
+        brute = any(is_simple(path[: i + 1]) and is_simple(path[i:]) for i in range(len(path)))
+        assert is_redundant(path) == (brute if path else False)
+
+    @SETTINGS
+    @given(path_sets(), st.integers(min_value=0, max_value=3))
+    def test_found_cover_actually_covers(self, paths, f):
+        cover = find_f_cover(paths, f)
+        if cover is not None:
+            assert len(cover) <= f or not paths
+            assert is_cover(paths, cover)
+
+    @SETTINGS
+    @given(path_sets(), st.integers(min_value=0, max_value=2))
+    def test_cover_monotone_in_f(self, paths, f):
+        if find_f_cover(paths, f) is not None:
+            assert find_f_cover(paths, f + 1) is not None
+
+
+# ----------------------------------------------------------------------
+# graph / condition invariants
+# ----------------------------------------------------------------------
+class TestGraphProperties:
+    @SETTINGS
+    @given(small_digraphs(), st.integers(min_value=0, max_value=2))
+    def test_reach_set_contains_node_and_avoids_excluded(self, graph, excluded_size):
+        nodes = graph.nodes
+        excluded = frozenset(nodes[1 : 1 + excluded_size])
+        node = nodes[0]
+        if node in excluded:
+            return
+        reach = reach_set(graph, node, excluded)
+        assert node in reach
+        assert not (reach & excluded)
+
+    @SETTINGS
+    @given(small_digraphs())
+    def test_source_component_members_reach_everyone(self, graph):
+        component = source_component(graph, set(), set())
+        for member in component:
+            reachable = set(graph.descendants(member)) | {member}
+            assert reachable == set(graph.nodes)
+
+    @SETTINGS
+    @given(small_digraphs(), st.integers(min_value=0, max_value=2))
+    def test_reach_conditions_are_nested(self, graph, f):
+        # 3-reach ⇒ 2-reach ⇒ 1-reach (each is a special case of the next).
+        three = check_three_reach(graph, f).holds
+        two = check_two_reach(graph, f).holds
+        one = check_one_reach(graph, f).holds
+        if three:
+            assert two
+        if two:
+            assert one
+
+    @SETTINGS
+    @given(small_digraphs(), st.integers(min_value=0, max_value=2))
+    def test_conditions_monotone_in_f(self, graph, f):
+        if not check_three_reach(graph, f).holds:
+            assert not check_three_reach(graph, f + 1).holds
+        if not check_two_reach(graph, f).holds:
+            assert not check_two_reach(graph, f + 1).holds
+
+    @SETTINGS
+    @given(small_digraphs(), st.integers(min_value=0, max_value=1))
+    def test_theorem17_equivalences(self, graph, f):
+        assert check_one_reach(graph, f).holds == check_ccs(graph, f).holds
+        assert check_two_reach(graph, f).holds == check_cca(graph, f).holds
+        assert check_three_reach(graph, f).holds == check_bcs(graph, f).holds
+
+    @SETTINGS
+    @given(small_digraphs())
+    def test_k_reach_collapses_to_one_reach_for_f_zero(self, graph):
+        # With f = 0 every exclusion set is empty, so all k-reach conditions agree.
+        verdicts = {check_k_reach(graph, 0, k).holds for k in (1, 2, 3, 4)}
+        assert len(verdicts) == 1
+
+    @SETTINGS
+    @given(small_digraphs(), st.integers(min_value=1, max_value=2))
+    def test_violation_certificates_are_genuine(self, graph, f):
+        report = check_three_reach(graph, f)
+        if not report.holds:
+            violation = report.reach_violation
+            ru = reach_set(graph, violation.u, violation.excluded_for_u())
+            rv = reach_set(graph, violation.v, violation.excluded_for_v())
+            assert not (ru & rv)
+
+
+# ----------------------------------------------------------------------
+# message set / averaging invariants
+# ----------------------------------------------------------------------
+class TestAlgorithmProperties:
+    @SETTINGS
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+                st.integers(min_value=0, max_value=4),
+            ),
+            min_size=0,
+            max_size=8,
+        )
+    )
+    def test_message_set_exclusion_is_subset(self, raw_entries):
+        message_set = MessageSet()
+        for index, (value, origin) in enumerate(raw_entries):
+            message_set.add(value, (origin, index, "v"))
+        restricted = message_set.exclude({0, 1})
+        assert restricted.paths() <= message_set.paths()
+        assert all({0, 1}.isdisjoint(path) for path in restricted.paths())
+
+    @SETTINGS
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=0, max_size=6),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.integers(min_value=0, max_value=2),
+    )
+    def test_trimmed_mean_stays_in_local_range(self, neighbor_values, own, f):
+        received = {index: value for index, value in enumerate(neighbor_values)}
+        result = trimmed_mean_update(own, received, f)
+        low = min([own] + neighbor_values)
+        high = max([own] + neighbor_values)
+        assert low - 1e-9 <= result <= high + 1e-9
+
+    @SETTINGS
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-50, max_value=50, allow_nan=False),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=0,
+            max_size=6,
+        ),
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+        st.integers(min_value=0, max_value=2),
+    )
+    def test_filter_average_output_within_received_range(self, raw_entries, own_value, f):
+        message_set = MessageSet()
+        message_set.add(own_value, ("v",))
+        for index, (value, origin) in enumerate(raw_entries):
+            message_set.add(value, (f"n{origin}", f"relay{index}", "v"))
+        result = filter_and_average(message_set, f, evaluating_node="v")
+        values = message_set.values()
+        assert min(values) - 1e-9 <= result.new_value <= max(values) + 1e-9
+        assert own_value in result.kept_values
+
+    @SETTINGS
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1, allow_nan=False), min_size=2, max_size=6),
+        st.integers(min_value=0, max_value=2),
+    )
+    def test_filter_average_fault_free_midpoint(self, values, f):
+        # When every value arrives over a private single-hop path from a
+        # distinct origin plus the node's own value, f = 0 keeps everything.
+        message_set = MessageSet()
+        message_set.add(values[0], ("v",))
+        for index, value in enumerate(values[1:]):
+            message_set.add(value, (f"n{index}", "v"))
+        result = filter_and_average(message_set, 0, evaluating_node="v")
+        assert result.new_value == (max(values) + min(values)) / 2

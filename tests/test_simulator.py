@@ -1,0 +1,206 @@
+"""Unit tests for the discrete-event asynchronous network simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchedulerError, SimulationError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import complete_digraph, directed_cycle
+from repro.network.delays import ConstantDelay, UniformDelay
+from repro.network.node import Process, RecordingProcess, SilentProcess
+from repro.network.simulator import Simulator
+
+
+class Broadcaster(Process):
+    """Broadcasts a single payload at start."""
+
+    def __init__(self, node_id, payload):
+        super().__init__(node_id)
+        self.payload = payload
+
+    def on_start(self):
+        self.broadcast(self.payload)
+
+
+class Forwarder(Process):
+    """Forwards every received payload once, appending its own id."""
+
+    def on_message(self, sender, payload):
+        if isinstance(payload, tuple) and len(payload) < 3:
+            self.broadcast(payload + (self.node_id,))
+
+
+class TimerUser(Process):
+    """Decides a value when its timer fires."""
+
+    def on_start(self):
+        self.require_context().set_timer(5.0, tag="wake")
+
+    def on_timer(self, tag):
+        self.decide(tag)
+
+
+class TestRegistration:
+    def test_process_must_be_on_graph_node(self):
+        simulator = Simulator(complete_digraph(2))
+        with pytest.raises(SimulationError):
+            simulator.add_process(RecordingProcess(99))
+
+    def test_duplicate_process_rejected(self):
+        simulator = Simulator(complete_digraph(2))
+        simulator.add_process(RecordingProcess(0))
+        with pytest.raises(SimulationError):
+            simulator.add_process(RecordingProcess(0))
+
+    def test_send_requires_edge(self):
+        graph = DiGraph(edges=[(0, 1)])
+        simulator = Simulator(graph)
+        a = RecordingProcess(0)
+        b = RecordingProcess(1)
+        simulator.add_processes([a, b])
+        simulator.start()
+        with pytest.raises(SimulationError):
+            b.send(0, "nope")  # the edge 1 → 0 does not exist
+        a.send(1, "ok")
+        assert simulator.pending_events() == 1
+
+    def test_unbound_process_send_fails(self):
+        process = RecordingProcess(0)
+        with pytest.raises(SimulationError):
+            process.send(1, "x")
+
+
+class TestDelivery:
+    def test_broadcast_reaches_every_out_neighbor(self):
+        graph = complete_digraph(4)
+        simulator = Simulator(graph, ConstantDelay(1.0))
+        sender = Broadcaster(0, "hello")
+        receivers = [RecordingProcess(i) for i in (1, 2, 3)]
+        simulator.add_processes([sender] + receivers)
+        stats = simulator.run()
+        assert stats.delivered_messages == 3
+        for receiver in receivers:
+            assert receiver.received == [(0, "hello")]
+
+    def test_directed_edge_one_way_only(self):
+        graph = DiGraph(edges=[(0, 1)])
+        simulator = Simulator(graph, ConstantDelay(1.0))
+        sender = Broadcaster(0, "x")
+        sink = RecordingProcess(1)
+        simulator.add_processes([sender, sink])
+        simulator.run()
+        assert sink.received == [(0, "x")]
+        assert sender.messages_received == 0
+
+    def test_relay_chain_over_cycle(self):
+        graph = directed_cycle(3)
+        simulator = Simulator(graph, ConstantDelay(1.0))
+        simulator.add_processes([Broadcaster(0, (0,)), Forwarder(1), Forwarder(2)])
+        stats = simulator.run()
+        assert stats.delivered_messages >= 3
+        assert stats.final_time >= 3.0
+
+    def test_per_link_counters(self):
+        graph = complete_digraph(3)
+        simulator = Simulator(graph, ConstantDelay(1.0))
+        simulator.add_processes([Broadcaster(0, "m"), RecordingProcess(1), RecordingProcess(2)])
+        stats = simulator.run()
+        assert stats.link_count(0, 1) == 1
+        assert stats.link_count(1, 0) == 0
+
+    def test_timer_events(self):
+        graph = complete_digraph(2)
+        simulator = Simulator(graph)
+        timer = TimerUser(0)
+        simulator.add_processes([timer, SilentProcess(1)])
+        stats = simulator.run()
+        assert timer.decided and timer.output == "wake"
+        assert stats.timer_events == 1
+
+
+class TestDeterminismAndLimits:
+    def _run_once(self, seed):
+        graph = complete_digraph(4)
+        simulator = Simulator(graph, UniformDelay(0.5, 2.0), seed=seed)
+        processes = [Broadcaster(0, "m")] + [RecordingProcess(i) for i in (1, 2, 3)]
+        simulator.add_processes(processes)
+        simulator.run()
+        return simulator.stats.final_time
+
+    def test_same_seed_same_schedule(self):
+        assert self._run_once(7) == self._run_once(7)
+
+    def test_different_seed_different_schedule(self):
+        assert self._run_once(7) != self._run_once(8)
+
+    def test_max_events_limit(self):
+        graph = directed_cycle(3)
+
+        class Chatterbox(Process):
+            def on_start(self):
+                self.broadcast(("spam",))
+
+            def on_message(self, sender, payload):
+                self.broadcast(("spam",))
+
+        simulator = Simulator(graph, ConstantDelay(1.0))
+        simulator.add_processes([Chatterbox(i) for i in range(3)])
+        stats = simulator.run(max_events=50)
+        assert stats.terminated_early
+        assert stats.delivered_messages == 50
+
+    def test_max_time_limit(self):
+        graph = complete_digraph(2)
+        simulator = Simulator(graph, ConstantDelay(10.0))
+        simulator.add_processes([Broadcaster(0, "late"), RecordingProcess(1)])
+        stats = simulator.run(max_time=5.0)
+        assert stats.terminated_early
+        assert stats.delivered_messages == 0
+
+    def test_stop_when_predicate(self):
+        graph = complete_digraph(3)
+        simulator = Simulator(graph, ConstantDelay(1.0))
+        receiver = RecordingProcess(1)
+        simulator.add_processes([Broadcaster(0, "m"), receiver, RecordingProcess(2)])
+        simulator.run(stop_when=lambda: bool(receiver.received))
+        assert len(receiver.received) == 1
+
+    def test_fifo_links_preserve_order(self):
+        graph = DiGraph(edges=[(0, 1)])
+
+        class Burst(Process):
+            def on_start(self):
+                for index in range(5):
+                    self.send(1, index)
+
+        received = []
+
+        class OrderedSink(Process):
+            def on_message(self, sender, payload):
+                received.append(payload)
+
+        simulator = Simulator(graph, UniformDelay(0.5, 5.0), seed=3, fifo_links=True)
+        simulator.add_processes([Burst(0), OrderedSink(1)])
+        simulator.run()
+        assert received == sorted(received)
+
+    def test_zero_delay_model_rejected(self):
+        class BadDelay(ConstantDelay):
+            def delay(self, sender, receiver, payload, time, rng):
+                return 0.0
+
+        graph = complete_digraph(2)
+        simulator = Simulator(graph, BadDelay(1.0))
+        simulator.add_processes([Broadcaster(0, "x"), RecordingProcess(1)])
+        with pytest.raises(SchedulerError):
+            simulator.run()
+
+    def test_outputs_and_all_decided(self):
+        graph = complete_digraph(2)
+        simulator = Simulator(graph)
+        deciders = [TimerUser(0), TimerUser(1)]
+        simulator.add_processes(deciders)
+        simulator.run()
+        assert simulator.all_decided()
+        assert simulator.outputs() == {0: "wake", 1: "wake"}

@@ -1,0 +1,119 @@
+"""Unit tests for the shared TopologyKnowledge precomputation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.topology import PATH_POLICIES, TopologyKnowledge
+from repro.exceptions import ProtocolError
+from repro.graphs.generators import complete_digraph, directed_cycle, figure_1a
+from repro.graphs.paths import is_redundant, is_simple
+from repro.graphs.reach import reach_set, source_component
+
+
+class TestConstruction:
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ProtocolError):
+            TopologyKnowledge(complete_digraph(3), 1, path_policy="bogus")
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ProtocolError):
+            TopologyKnowledge(complete_digraph(3), -1)
+
+    def test_policies_exported(self):
+        assert set(PATH_POLICIES) == {"redundant", "simple"}
+
+    def test_fault_sets_enumeration(self):
+        topology = TopologyKnowledge(complete_digraph(4), 1)
+        assert len(topology.fault_sets) == 5  # empty set + 4 singletons
+        assert all(len(candidate) <= 1 for candidate in topology.fault_sets)
+
+    def test_fault_candidates_exclude_self(self):
+        topology = TopologyKnowledge(complete_digraph(4), 1)
+        for node in topology.nodes:
+            assert all(node not in candidate for candidate in topology.fault_candidates[node])
+        assert topology.thread_count(0) == 4
+
+
+class TestRequiredPaths:
+    def test_required_paths_end_at_node_and_avoid_fault_set(self):
+        topology = TopologyKnowledge(complete_digraph(4), 1)
+        paths = topology.required_paths(0, frozenset({3}))
+        assert (0,) in paths
+        assert all(path[-1] == 0 for path in paths)
+        assert all(3 not in path for path in paths)
+        assert all(is_redundant(path) for path in paths)
+
+    def test_simple_policy_required_paths(self):
+        topology = TopologyKnowledge(complete_digraph(4), 1, path_policy="simple")
+        paths = topology.required_paths(0, frozenset())
+        assert all(is_simple(path) for path in paths)
+        # 1 trivial + 3 + 6 + 6 simple paths into node 0 of K4.
+        assert len(paths) == 16
+
+    def test_redundant_policy_superset_of_simple(self):
+        redundant = TopologyKnowledge(complete_digraph(4), 1).required_paths(0, frozenset())
+        simple = TopologyKnowledge(complete_digraph(4), 1, path_policy="simple").required_paths(
+            0, frozenset()
+        )
+        assert simple <= redundant
+
+    def test_memoisation_returns_same_object(self):
+        topology = TopologyKnowledge(complete_digraph(4), 1)
+        assert topology.required_paths(0, frozenset({1})) is topology.required_paths(0, frozenset({1}))
+
+
+class TestReachAndSourceComponents:
+    def test_reach_matches_graph_module(self):
+        graph = figure_1a()
+        topology = TopologyKnowledge(graph, 1)
+        assert topology.reach("v1", frozenset({"v3"})) == reach_set(graph, "v1", {"v3"})
+
+    def test_source_component_matches_graph_module(self):
+        graph = figure_1a()
+        topology = TopologyKnowledge(graph, 1)
+        assert topology.source_component({"v1"}, {"v2"}) == source_component(graph, {"v1"}, {"v2"})
+
+    def test_source_component_keyed_on_union(self):
+        graph = complete_digraph(4)
+        topology = TopologyKnowledge(graph, 1)
+        assert topology.source_component({0}, {1}) is topology.source_component({1}, {0})
+
+    def test_simple_paths_within_reach(self):
+        graph = figure_1a()
+        topology = TopologyKnowledge(graph, 1)
+        fault_set = frozenset({"v3"})
+        per_origin = topology.simple_paths_within_reach("v1", fault_set)
+        reach = topology.reach("v1", fault_set)
+        assert set(per_origin) <= set(reach)
+        for origin, paths in per_origin.items():
+            for path in paths:
+                assert path[0] == origin and path[-1] == "v1"
+                assert set(path) <= set(reach)
+        # The node itself is reachable by exactly its trivial path.
+        assert per_origin["v1"] == (("v1",),)
+
+    def test_cycle_reach_paths_unique(self):
+        graph = directed_cycle(4)
+        topology = TopologyKnowledge(graph, 1)
+        per_origin = topology.simple_paths_within_reach(0, frozenset({2}))
+        assert per_origin[3] == ((3, 0),)
+
+
+class TestCostCounters:
+    def test_precompute_all_counters(self, clique4_topology):
+        counters = clique4_topology.precompute_all()
+        assert counters["nodes"] == 4
+        assert counters["threads"] == 16
+        assert counters["required_paths"] > counters["threads"]
+        assert counters["source_components"] >= 1
+
+    def test_total_required_paths(self, clique4_topology):
+        total = clique4_topology.total_required_paths(0)
+        assert total == sum(
+            len(clique4_topology.required_paths(0, fault_set))
+            for fault_set in clique4_topology.fault_candidates[0]
+        )
+
+    def test_repr(self):
+        assert "TopologyKnowledge" in repr(TopologyKnowledge(complete_digraph(3), 1))
