@@ -1,0 +1,167 @@
+"""Experiment E1 — frozenset-BFS vs the shared bitmask reach engine.
+
+The condition checkers, the BW verification path and the analysis layer all
+reduce to reach sets / source components evaluated under exponentially many
+candidate fault sets.  This micro-benchmark quantifies what moving that
+primitive from per-query subgraph-BFS (the seed implementation, reproduced
+locally below) onto the shared :class:`~repro.graphs.bitset.BitsetIndex`
+engine buys on the Figure 1 graph family: the full ``|F| ≤ f`` exclusion
+sweep for all-node reach sets, and the full ``(F1, F2)`` union sweep for
+source components.
+
+The regenerated comparison table (with the measured speedups) is written to
+``benchmarks/results/reach_engine.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.conditions.reach_conditions import iter_subsets
+from repro.graphs.bitset import BitsetIndex, popcount
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import figure_1a, figure_1b
+from repro.runner.reporting import format_table
+
+#: (label, graph, fault bound) — Figure 1(b) at f = 2 is the paper's own
+#: "large" instance (n = 14, 106 exclusion sets, 5 565 unordered unions).
+WORKLOADS = [
+    ("figure-1a", figure_1a(), 1),
+    ("figure-1a", figure_1a(), 2),
+    ("figure-1b", figure_1b(), 1),
+    ("figure-1b", figure_1b(), 2),
+]
+
+
+# ----------------------------------------------------------------------
+# the seed implementation, kept verbatim as the baseline under test
+# ----------------------------------------------------------------------
+def _legacy_reach_sets(graph: DiGraph, excluded) -> dict:
+    excluded_set = frozenset(excluded)
+    subgraph = graph.exclude_nodes(excluded_set)
+    result = {}
+    for node in subgraph.nodes:
+        reached = set(subgraph.ancestors(node))
+        reached.add(node)
+        result[node] = frozenset(reached)
+    return result
+
+
+def _legacy_source_component(graph: DiGraph, blocked) -> frozenset:
+    reduced = graph.remove_outgoing_edges_of(set(blocked))
+    everything = reduced.node_set()
+    members = set()
+    for node in reduced.nodes:
+        reachable = set(reduced.descendants(node))
+        reachable.add(node)
+        if reachable == set(everything):
+            members.add(node)
+    return frozenset(members)
+
+
+# ----------------------------------------------------------------------
+# the two sweeps, parameterised by implementation
+# ----------------------------------------------------------------------
+def _reach_sweep_legacy(graph: DiGraph, f: int) -> int:
+    total = 0
+    for fault_set in iter_subsets(graph.nodes, f):
+        total += sum(len(r) for r in _legacy_reach_sets(graph, fault_set).values())
+    return total
+
+
+def _reach_sweep_bitset(graph: DiGraph, f: int) -> int:
+    index = BitsetIndex.for_graph(graph)
+    total = 0
+    for fault_set in iter_subsets(graph.nodes, f):
+        reach = index.reach_masks(index.mask_of(fault_set))
+        total += sum(popcount(mask) for mask in reach)
+    return total
+
+
+def _source_sweep_legacy(graph: DiGraph, f: int) -> int:
+    seen = set()
+    total = 0
+    for f1 in iter_subsets(graph.nodes, f):
+        for f2 in iter_subsets(graph.nodes, f):
+            union = f1 | f2
+            if union in seen:
+                continue
+            seen.add(union)
+            total += len(_legacy_source_component(graph, union))
+    return total
+
+
+def _source_sweep_bitset(graph: DiGraph, f: int) -> int:
+    index = BitsetIndex.for_graph(graph)
+    seen = set()
+    total = 0
+    for f1 in iter_subsets(graph.nodes, f):
+        for f2 in iter_subsets(graph.nodes, f):
+            union_mask = index.mask_of(f1) | index.mask_of(f2)
+            if union_mask in seen:
+                continue
+            seen.add(union_mask)
+            total += popcount(index.source_component_mask(union_mask))
+    return total
+
+
+def _time(fn, *args) -> float:
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+def _compare(label: str, graph: DiGraph, f: int) -> dict:
+    # Fresh engine per measurement so memoisation is part of the measured
+    # cost, not amortised away from a previous workload.
+    graph = graph.copy()
+    legacy_reach = _time(_reach_sweep_legacy, graph, f)
+    bitset_reach = _time(_reach_sweep_bitset, graph, f)
+    graph = graph.copy()
+    legacy_source = _time(_source_sweep_legacy, graph, f)
+    bitset_source = _time(_source_sweep_bitset, graph, f)
+    assert _reach_sweep_legacy(graph, f) == _reach_sweep_bitset(graph, f)
+    assert _source_sweep_legacy(graph, f) == _source_sweep_bitset(graph, f)
+    return {
+        "label": label,
+        "n": graph.num_nodes,
+        "f": f,
+        "reach_legacy_s": legacy_reach,
+        "reach_bitset_s": bitset_reach,
+        "reach_speedup": legacy_reach / bitset_reach,
+        "source_legacy_s": legacy_source,
+        "source_bitset_s": bitset_source,
+        "source_speedup": legacy_source / bitset_source,
+    }
+
+
+@pytest.mark.benchmark(group="reach-engine")
+def test_engine_vs_frozenset_bfs(benchmark, write_result):
+    rows = benchmark.pedantic(
+        lambda: [_compare(*workload) for workload in WORKLOADS], rounds=1, iterations=1
+    )
+    table = [
+        [
+            row["label"], row["n"], row["f"],
+            f"{row['reach_legacy_s'] * 1000:.1f}", f"{row['reach_bitset_s'] * 1000:.1f}",
+            f"{row['reach_speedup']:.1f}x",
+            f"{row['source_legacy_s'] * 1000:.1f}", f"{row['source_bitset_s'] * 1000:.1f}",
+            f"{row['source_speedup']:.1f}x",
+        ]
+        for row in rows
+    ]
+    write_result(
+        "reach_engine",
+        format_table(
+            ["graph", "n", "f",
+             "reach sweep BFS (ms)", "reach sweep bitset (ms)", "speedup",
+             "source sweep BFS (ms)", "source sweep bitset (ms)", "speedup"],
+            table,
+        ),
+    )
+    # The ISSUE's acceptance bar: ≥3× on the n=14, f=2 sweep.
+    big = next(row for row in rows if row["label"] == "figure-1b" and row["f"] == 2)
+    assert big["reach_speedup"] >= 3.0
+    assert big["source_speedup"] >= 3.0

@@ -408,10 +408,25 @@ class BWProcess(Process):
 
     def _verify(self, state: _RoundState, fault_set: FaultSet) -> bool:
         """Function Verify (lines 20-26): Completeness for every announcement
-        FIFO-received through a simple path inside ``reach_v(F_v)``."""
-        reach = self.topology.reach(self.node_id, fault_set)
+        FIFO-received through a simple path inside ``reach_v(F_v)``.
+
+        Path-containment tests run on the shared bitmask engine: the reach
+        set is a memoised mask (one cache per experiment run, shared across
+        rounds and fault-set pairs) and each path-in-reach check is a single
+        word operation instead of a set comparison.
+        """
+        engine = self.topology.engine
+        reach_mask = self.topology.reach_mask(self.node_id, fault_set)
+        bit_of = engine.index
         for (origin, announced_set, path), message in state.complete_messages.items():
-            if not set(path) <= set(reach):
+            path_mask = 0
+            for hop in path:
+                bit = bit_of.get(hop)
+                if bit is None:  # forged hop outside the graph: never in reach
+                    path_mask = ~reach_mask
+                    break
+                path_mask |= 1 << bit
+            if path_mask & ~reach_mask:
                 continue
             if not self._fifo_received(origin, path, message.fifo_counter):
                 continue

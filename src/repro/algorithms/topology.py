@@ -10,23 +10,30 @@ the Completeness condition against source components ``S_{F_u, F_w}``.
 All of those objects depend only on the graph and ``f`` — not on the
 execution — so they are computed once per experiment by
 :class:`TopologyKnowledge` and shared by every process (matching the paper's
-assumption that nodes know the topology).  The structure also exposes cost
-counters (number of threads, required paths, source components) consumed by
-the message/thread-complexity benchmark (experiment M1 in DESIGN.md).
+assumption that nodes know the topology).  Reach sets and source components
+run on the per-graph shared bitmask engine
+(:class:`~repro.graphs.bitset.BitsetIndex`) through the mask-keyed memo
+caches of :mod:`repro.graphs.reach` — one cache per experiment run, shared
+across every round and every candidate fault-set pair, with explicit
+:meth:`clear_caches` / :meth:`cache_stats` accounting.  The structure also
+exposes cost counters (number of threads, required paths, source components)
+consumed by the message/thread-complexity benchmark (experiment M1 in
+DESIGN.md).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Tuple
 
 from repro.exceptions import ProtocolError
+from repro.graphs.bitset import BitsetIndex
 from repro.graphs.digraph import DiGraph
 from repro.graphs.paths import (
     enumerate_redundant_paths_to,
     enumerate_simple_paths_to,
     is_fully_contained,
 )
-from repro.graphs.reach import reach_set, source_component
+from repro.graphs.reach import ReachSetCache, SourceComponentCache
 from repro.conditions.reach_conditions import iter_subsets
 
 NodeId = Hashable
@@ -62,6 +69,10 @@ class TopologyKnowledge:
         self.path_policy = path_policy
         self.nodes: List[NodeId] = sorted(graph.nodes, key=repr)
 
+        #: shared bitmask engine (one per graph; also used by the condition
+        #: checkers and by mask-level queries on the BW verification path).
+        self.engine: BitsetIndex = BitsetIndex.for_graph(graph)
+
         #: every candidate fault set ``F ⊆ V`` with ``|F| ≤ f`` (used by Completeness).
         self.fault_sets: List[FaultSet] = list(iter_subsets(self.nodes, f))
 
@@ -71,9 +82,12 @@ class TopologyKnowledge:
         }
 
         self._required_paths: Dict[Tuple[NodeId, FaultSet], FrozenSet[Path]] = {}
-        self._reach: Dict[Tuple[NodeId, FaultSet], FrozenSet[NodeId]] = {}
         self._simple_paths_in_reach: Dict[Tuple[NodeId, FaultSet], Dict[NodeId, Tuple[Path, ...]]] = {}
-        self._source_components: Dict[FrozenSet[NodeId], FrozenSet[NodeId]] = {}
+        #: one memo cache per experiment run, shared across rounds and across
+        #: every process — repeated reach / source-component queries hit the
+        #: memo instead of rebuilding subgraphs.
+        self._reach_cache = ReachSetCache(graph)
+        self._source_cache = SourceComponentCache(graph)
 
     # ------------------------------------------------------------------
     # lazily computed, memoised queries
@@ -97,11 +111,14 @@ class TopologyKnowledge:
         return self._required_paths[key]
 
     def reach(self, node: NodeId, fault_set: FaultSet) -> FrozenSet[NodeId]:
-        """``reach_node(F)`` (Definition 2), memoised."""
-        key = (node, frozenset(fault_set))
-        if key not in self._reach:
-            self._reach[key] = reach_set(self.graph, node, key[1])
-        return self._reach[key]
+        """``reach_node(F)`` (Definition 2), memoised on the canonical mask."""
+        return self._reach_cache.get(node, fault_set)
+
+    def reach_mask(self, node: NodeId, fault_set: Iterable[NodeId]) -> int:
+        """``reach_node(F)`` as a bitmask of the shared engine (hot-path
+        variant used by the Verify containment checks)."""
+        excluded_mask = self.engine.mask_of(fault_set, ignore_missing=True)
+        return self.engine.reach_mask(node, excluded_mask)
 
     def simple_paths_within_reach(
         self, node: NodeId, fault_set: FaultSet
@@ -123,11 +140,37 @@ class TopologyKnowledge:
         return self._simple_paths_in_reach[key]
 
     def source_component(self, f1: Iterable[NodeId], f2: Iterable[NodeId] = ()) -> FrozenSet[NodeId]:
-        """``S_{F1, F2}`` (Definition 6), memoised on ``F1 ∪ F2``."""
-        key = frozenset(f1) | frozenset(f2)
-        if key not in self._source_components:
-            self._source_components[key] = source_component(self.graph, key, ())
-        return self._source_components[key]
+        """``S_{F1, F2}`` (Definition 6), memoised on the union's mask."""
+        return self._source_cache.get(f1, f2)
+
+    # ------------------------------------------------------------------
+    # cache accounting
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss/size statistics of the per-run memo caches.
+
+        The ``shared_engine`` entry reports the per-*graph* engine memos,
+        which every consumer of the same graph (other topology instances,
+        condition checkers) contributes to — it is diagnostic context, not
+        part of this run's accounting.
+        """
+        return {
+            "reach": self._reach_cache.stats,
+            "source_components": self._source_cache.stats,
+            "shared_engine": self.engine.memo_sizes(),
+        }
+
+    def clear_caches(self) -> None:
+        """Drop this run's reach / source-component memos.
+
+        The path enumerations (``required_paths``, simple paths in reach) are
+        kept: they are part of the precomputation contract, not a growing
+        per-round cache.  The shared engine's memos are deliberately left
+        alone — they belong to the graph, may be warm for other consumers,
+        and are self-bounding (:attr:`BitsetIndex.MEMO_LIMIT`).
+        """
+        self._reach_cache.clear()
+        self._source_cache.clear()
 
     # ------------------------------------------------------------------
     # cost accounting (benchmark M1)
@@ -164,7 +207,7 @@ class TopologyKnowledge:
             "nodes": len(self.nodes),
             "threads": total_threads,
             "required_paths": total_paths,
-            "source_components": len(self._source_components),
+            "source_components": len(self._source_cache),
         }
 
     def __repr__(self) -> str:

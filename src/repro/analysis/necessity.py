@@ -35,6 +35,7 @@ from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 from repro.conditions.certificates import ReachViolation
 from repro.conditions.reach_conditions import check_three_reach
 from repro.exceptions import ConditionError
+from repro.graphs.bitset import BitsetIndex, iter_bits
 from repro.graphs.digraph import DiGraph
 
 NodeId = Hashable
@@ -79,13 +80,22 @@ def find_violation(graph: DiGraph, f: int) -> Optional[ReachViolation]:
 
 
 def _edges_between(graph: DiGraph, sources, targets) -> Set[Edge]:
-    source_set = set(sources)
-    target_set = set(targets)
-    return {
-        (u, v)
-        for u, v in graph.edges
-        if u in source_set and v in target_set
-    }
+    """All ``(u, v)`` edges with ``u ∈ sources`` and ``v ∈ targets``.
+
+    Runs on the shared bitmask engine: one successor-mask intersection per
+    source node instead of a full edge-list scan (the Theorem 18 construction
+    extracts these sets once per certificate)."""
+    index = BitsetIndex.for_graph(graph)
+    target_mask = index.mask_of(targets, ignore_missing=True)
+    nodes = index.nodes
+    edges: Set[Edge] = set()
+    for u in sources:
+        bit = index.index.get(u)
+        if bit is None:
+            continue
+        for v_bit in iter_bits(index.succ_masks[bit] & target_mask):
+            edges.add((u, nodes[v_bit]))
+    return edges
 
 
 def build_schedule(

@@ -15,6 +15,8 @@ which is precisely the consistency statement of Appendix A.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.conditions.reach_conditions import check_k_reach
 from repro.exceptions import InvalidFaultBoundError
 from repro.graphs.digraph import DiGraph
@@ -69,7 +71,9 @@ def max_crash_faults_clique_async(n: int) -> int:
     return (n - 1) // 2
 
 
-def verify_clique_equivalence(n: int, f: int, k: int) -> bool:
+def verify_clique_equivalence(
+    n: int, f: int, k: int, *, parallel: Optional[int] = None
+) -> bool:
     """Check that the general k-reach checker agrees with the closed form on
     the ``n``-clique (the Appendix A equivalence); used by tests and the
     resilience benchmark.
@@ -77,6 +81,8 @@ def verify_clique_equivalence(n: int, f: int, k: int) -> bool:
     The equivalence is stated for the non-degenerate regime ``n > f`` (with
     ``n ≤ f`` every node may be faulty and the reach conditions hold
     vacuously); a :class:`ValueError` is raised outside that regime.
+    ``parallel=N`` is forwarded to the general checker's shared-set sweep
+    (the clique closed form itself is O(1)).
     """
     if n <= f:
         raise ValueError(
@@ -84,6 +90,6 @@ def verify_clique_equivalence(n: int, f: int, k: int) -> bool:
         )
     graph: DiGraph = complete_digraph(n)
     assert is_complete(graph)
-    general = check_k_reach(graph, f, k).holds
+    general = check_k_reach(graph, f, k, parallel=parallel).holds
     closed = clique_k_reach_closed_form(n, f, k)
     return general == closed

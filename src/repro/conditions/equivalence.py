@@ -11,7 +11,7 @@ the test-suite uses them directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.conditions.certificates import ConditionReport
 from repro.conditions.partition_conditions import check_bcs, check_cca, check_ccs
@@ -46,12 +46,14 @@ class EquivalenceResult:
         )
 
 
-def verify_ccs_one_reach(graph: DiGraph, f: int) -> EquivalenceResult:
+def verify_ccs_one_reach(
+    graph: DiGraph, f: int, *, parallel: Optional[int] = None
+) -> EquivalenceResult:
     """Theorem 17(a): CCS ⇔ 1-reach."""
     return EquivalenceResult(
         pair="CCS⇔1-reach",
         f=f,
-        reach_report=check_one_reach(graph, f),
+        reach_report=check_one_reach(graph, f, parallel=parallel),
         partition_report=check_ccs(graph, f),
     )
 
@@ -66,22 +68,31 @@ def verify_cca_two_reach(graph: DiGraph, f: int) -> EquivalenceResult:
     )
 
 
-def verify_bcs_three_reach(graph: DiGraph, f: int) -> EquivalenceResult:
+def verify_bcs_three_reach(
+    graph: DiGraph, f: int, *, parallel: Optional[int] = None
+) -> EquivalenceResult:
     """Theorem 17(c): BCS ⇔ 3-reach."""
     return EquivalenceResult(
         pair="BCS⇔3-reach",
         f=f,
-        reach_report=check_three_reach(graph, f),
+        reach_report=check_three_reach(graph, f, parallel=parallel),
         partition_report=check_bcs(graph, f),
     )
 
 
-def verify_all_equivalences(graph: DiGraph, f: int) -> Tuple[EquivalenceResult, ...]:
-    """Evaluate all three Theorem 17 equivalences on one graph."""
+def verify_all_equivalences(
+    graph: DiGraph, f: int, *, parallel: Optional[int] = None
+) -> Tuple[EquivalenceResult, ...]:
+    """Evaluate all three Theorem 17 equivalences on one graph.
+
+    All three checkers share one bitmask engine per graph; ``parallel=N``
+    is forwarded to the reach checkers that fan their shared-set sweeps out
+    over worker processes.
+    """
     return (
-        verify_ccs_one_reach(graph, f),
+        verify_ccs_one_reach(graph, f, parallel=parallel),
         verify_cca_two_reach(graph, f),
-        verify_bcs_three_reach(graph, f),
+        verify_bcs_three_reach(graph, f, parallel=parallel),
     )
 
 

@@ -1,12 +1,19 @@
 """Literal, definition-by-definition reach-condition checkers.
 
-These are straight transcriptions of Definition 3 using the set-based
-``reach_set`` helper of :mod:`repro.graphs.reach`, with no bitmask tricks and
-no enumeration shortcuts.  They are exponentially slower than the checkers in
+These are straight transcriptions of Definition 3 with no enumeration
+shortcuts: every quantifier of the definition text becomes one loop.  They
+are exponentially slower than the checkers in
 :mod:`repro.conditions.reach_conditions` and exist for one purpose: serving
 as an independent oracle in the test-suite (and in the condition-checker
 ablation benchmark) so that the optimized implementations can be validated
 against the paper's text on small graphs.
+
+Reach sets themselves come from the set-level API of
+:mod:`repro.graphs.reach` (through a :class:`ReachSetCache`, so the heavily
+repeated ``(node, exclusion)`` queries of the literal enumeration share the
+per-graph bitmask engine with every other checker).  The enumeration
+structure — the part these oracles validate — stays a direct transcription;
+the fully engine-independent oracle remains ``networkx`` in the test-suite.
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ from repro.conditions.certificates import ConditionReport, ReachViolation
 from repro.conditions.reach_conditions import iter_subsets
 from repro.exceptions import InvalidFaultBoundError
 from repro.graphs.digraph import DiGraph, Node
-from repro.graphs.reach import reach_set
+from repro.graphs.reach import ReachSetCache
 
 
 def _validate(graph: DiGraph, f: int) -> None:
@@ -51,10 +58,11 @@ def check_one_reach_naive(graph: DiGraph, f: int) -> ConditionReport:
     """Literal 1-reach check: every ``F`` with ``|F| ≤ f``, every pair outside ``F``."""
     _validate(graph, f)
     nodes = graph.nodes
+    reach = ReachSetCache(graph)
     checks = 0
     for shared in iter_subsets(nodes, f):
         outside = [node for node in nodes if node not in shared]
-        reaches = {node: reach_set(graph, node, shared) for node in outside}
+        reaches = {node: reach.get(node, shared) for node in outside}
         for i, u in enumerate(outside):
             for v in outside[i + 1:]:
                 checks += 1
@@ -76,14 +84,15 @@ def check_two_reach_naive(graph: DiGraph, f: int) -> ConditionReport:
     """Literal 2-reach check: every pair ``u, v`` and every ``Fu ∌ u``, ``Fv ∌ v``."""
     _validate(graph, f)
     nodes = graph.nodes
+    reach = ReachSetCache(graph)
     checks = 0
     for i, u in enumerate(nodes):
         for v in nodes[i + 1:]:
             for fu in iter_subsets([x for x in nodes if x != u], f):
-                reach_u = reach_set(graph, u, fu)
+                reach_u = reach.get(u, fu)
                 for fv in iter_subsets([x for x in nodes if x != v], f):
                     checks += 1
-                    reach_v = reach_set(graph, v, fv)
+                    reach_v = reach.get(v, fv)
                     if not (reach_u & reach_v):
                         return ConditionReport(
                             condition="2-reach",
@@ -103,6 +112,7 @@ def check_three_reach_naive(graph: DiGraph, f: int) -> ConditionReport:
     with ``u ∉ F ∪ Fu`` and ``v ∉ F ∪ Fv``."""
     _validate(graph, f)
     nodes = graph.nodes
+    reach = ReachSetCache(graph)
     checks = 0
     for shared in iter_subsets(nodes, f):
         for i, u in enumerate(nodes):
@@ -115,13 +125,13 @@ def check_three_reach_naive(graph: DiGraph, f: int) -> ConditionReport:
                     excluded_u = frozenset(shared) | frozenset(fu)
                     if u in excluded_u:
                         continue
-                    reach_u = reach_set(graph, u, excluded_u)
+                    reach_u = reach.get(u, excluded_u)
                     for fv in iter_subsets([x for x in nodes if x != v], f):
                         excluded_v = frozenset(shared) | frozenset(fv)
                         if v in excluded_v:
                             continue
                         checks += 1
-                        reach_v = reach_set(graph, v, excluded_v)
+                        reach_v = reach.get(v, excluded_v)
                         if not (reach_u & reach_v):
                             return ConditionReport(
                                 condition="3-reach",

@@ -31,6 +31,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 from repro.conditions.certificates import ConditionReport, PartitionViolation
 from repro.conditions.reach_conditions import iter_subsets
 from repro.exceptions import InvalidFaultBoundError
+from repro.graphs.bitset import BitsetIndex, popcount
 from repro.graphs.digraph import DiGraph, Node
 
 
@@ -53,35 +54,30 @@ def has_x_incoming(graph: DiGraph, source_set: Iterable[Node], target_set: Itera
 # bitmask machinery shared by the fast checkers
 # ----------------------------------------------------------------------
 class _PartitionEngine:
-    """Bitmask helper answering "does a violating partition exist?" queries."""
+    """Partition-search view over the shared :class:`BitsetIndex` engine.
+
+    The node ↔ bit mapping, codecs and adjacency masks come from the per-graph
+    shared index (the same one the reach checkers use), so every checker
+    operating on one graph shares one encoding; only the partition-specific
+    subset search lives here.
+    """
 
     def __init__(self, graph: DiGraph) -> None:
-        self.nodes: List[Node] = list(graph.nodes)
-        self.index: Dict[Node, int] = {node: i for i, node in enumerate(self.nodes)}
-        self.n = len(self.nodes)
-        self.full_mask = (1 << self.n) - 1
-        self.in_masks: List[int] = [0] * self.n  # in_masks[v] = predecessors of v
-        for u, v in graph.edges:
-            self.in_masks[self.index[v]] |= 1 << self.index[u]
+        self.bitset = BitsetIndex.for_graph(graph)
+        self.nodes: List[Node] = self.bitset.nodes
+        self.index: Dict[Node, int] = self.bitset.index
+        self.n = self.bitset.n
+        self.full_mask = self.bitset.full_mask
 
     def mask_of(self, nodes: Iterable[Node]) -> int:
-        mask = 0
-        for node in nodes:
-            mask |= 1 << self.index[node]
-        return mask
+        return self.bitset.mask_of(nodes)
 
     def nodes_of(self, mask: int) -> FrozenSet[Node]:
-        return frozenset(self.nodes[i] for i in range(self.n) if mask & (1 << i))
+        return self.bitset.nodes_of(mask)
 
     def external_in_neighbors(self, subset_mask: int, allowed_mask: int) -> int:
         """Incoming neighbourhood of ``subset`` restricted to ``allowed \\ subset``."""
-        incoming = 0
-        bits = subset_mask
-        while bits:
-            low = bits & -bits
-            incoming |= self.in_masks[low.bit_length() - 1]
-            bits ^= low
-        return incoming & allowed_mask & ~subset_mask
+        return self.bitset.in_neighbors_mask(subset_mask, allowed_mask)
 
     def closed_sets(self, allowed_mask: int, threshold: int) -> List[int]:
         """Non-empty subsets of ``allowed`` with at most ``threshold`` external
@@ -94,7 +90,7 @@ class _PartitionEngine:
                 for node_index in combo:
                     mask |= 1 << node_index
                 incoming = self.external_in_neighbors(mask, allowed_mask)
-                if bin(incoming).count("1") <= threshold:
+                if popcount(incoming) <= threshold:
                     result.append(mask)
         return result
 
@@ -120,12 +116,12 @@ class _PartitionEngine:
                 for node_index in combo:
                     mask |= 1 << node_index
                 incoming = self.external_in_neighbors(mask, allowed_mask)
-                if bin(incoming).count("1") > threshold:
+                if popcount(incoming) > threshold:
                     continue
                 for other in weak:
                     if other & mask == 0:
-                        left_in = bin(self.external_in_neighbors(other, allowed_mask)).count("1")
-                        right_in = bin(incoming).count("1")
+                        left_in = popcount(self.external_in_neighbors(other, allowed_mask))
+                        right_in = popcount(incoming)
                         return other, mask, left_in, right_in
                 weak.append(mask)
         return None
@@ -198,19 +194,19 @@ def check_ccs(graph: DiGraph, f: int) -> ConditionReport:
     for fault in iter_subsets(graph.nodes, f):
         fault_mask = engine.mask_of(fault)
         allowed_mask = engine.full_mask & ~fault_mask
-        # Fast path: count source SCCs of the induced subgraph.
-        induced = graph.exclude_nodes(fault)
-        components, dag = induced.condensation()
+        # Fast path: count source SCCs of the induced subgraph (bitmask
+        # Tarjan on the shared engine — no subgraph materialisation).
+        components = engine.bitset.scc_masks(allowed_mask)
         total_checks += len(components)
-        sources = [i for i in range(len(components)) if dag.in_degree(i) == 0]
+        sources = [
+            component
+            for component in components
+            if engine.external_in_neighbors(component, allowed_mask) == 0
+        ]
         if len(sources) >= 2:
-            left_mask = engine.mask_of(components[sources[0]])
-            right_mask = engine.mask_of(components[sources[1]])
-            pair = (left_mask, right_mask, 0, 0)
+            pair = (sources[0], sources[1], 0, 0)
             return _report_from_pair(engine, "CCS", f, fault_mask, pair, total_checks)
-        if not components:
-            # F = V: vacuously fine (no L, R can be formed).
-            continue
+        # fault = V: no components — vacuously fine (no L, R can be formed).
     return ConditionReport(condition="CCS", f=f, holds=True, checks_performed=total_checks)
 
 
@@ -228,7 +224,7 @@ def check_bcs(graph: DiGraph, f: int) -> ConditionReport:
     for fault in iter_subsets(graph.nodes, f):
         fault_mask = engine.mask_of(fault)
         allowed_mask = engine.full_mask & ~fault_mask
-        remaining = engine.n - bin(fault_mask).count("1")
+        remaining = engine.n - popcount(fault_mask)
         total_checks += 1 << remaining
         pair = engine.find_disjoint_weak_pair(allowed_mask, f)
         if pair is not None:

@@ -15,20 +15,31 @@ The paper's central topological conditions:
   "exclusion budget" per node is one shared set of size ``≤ f`` (odd ``k``)
   plus ``⌊k/2⌋`` private sets of size ``≤ f`` each.
 
-Checkers are exhaustive and exact.  Internally reach sets are represented as
-integer bitmasks and computed for all nodes of an exclusion set at once by a
-fixed-point propagation, which keeps the (inherently exponential in ``f``)
-enumeration fast enough for the graph sizes the paper discusses (Figure 1(b)
-with ``n = 14``, ``f = 2`` checks in well under a second).
+Checkers are exhaustive and exact.  Reach sets are integer bitmasks computed
+by the shared :class:`~repro.graphs.bitset.BitsetIndex` engine (one index per
+graph, shared with every other checker and with the BW verification path);
+its per-exclusion memo deduplicates the many overlapping ``F ∪ F_v`` unions
+the (inherently exponential in ``f``) enumeration produces, which keeps
+Figure 1(b) (``n = 14``, ``f = 2``) checking in well under a second.
+
+For exhaustive sweeps on larger graphs the shared-set enumeration can be
+fanned out over worker processes with the opt-in ``parallel=N`` argument of
+:func:`check_one_reach`, :func:`check_three_reach` and :func:`check_k_reach`:
+the shared subsets are chunked round-robin, each worker rebuilds the bitmask
+engine from a compact payload and sweeps its chunk, and the first violation
+found wins.  ``checks_performed`` is exact whenever the condition holds (all
+chunks complete); on early exit it only counts the finished chunks.
 """
 
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from math import comb
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from repro.conditions.certificates import ConditionReport, ReachViolation
 from repro.exceptions import InvalidFaultBoundError
+from repro.graphs.bitset import BitsetIndex
 from repro.graphs.digraph import DiGraph, Node
 
 
@@ -47,79 +58,44 @@ def iter_subsets(items: Sequence[Node], max_size: int) -> Iterator[FrozenSet[Nod
 
 def count_subsets(n: int, max_size: int) -> int:
     """Number of subsets of an ``n``-element set with size at most ``max_size``."""
-    from math import comb
-
     return sum(comb(n, size) for size in range(min(max_size, n) + 1))
 
 
-# ----------------------------------------------------------------------
-# bitmask reachability engine
-# ----------------------------------------------------------------------
-class _BitGraph:
-    """Bitmask view of a :class:`DiGraph` for fast repeated reach-set queries."""
-
-    def __init__(self, graph: DiGraph) -> None:
-        self.nodes: List[Node] = list(graph.nodes)
-        self.index: Dict[Node, int] = {node: i for i, node in enumerate(self.nodes)}
-        self.n = len(self.nodes)
-        self.full_mask = (1 << self.n) - 1
-        self.pred_masks: List[int] = [0] * self.n
-        for u, v in graph.edges:
-            self.pred_masks[self.index[v]] |= 1 << self.index[u]
-
-    def mask_of(self, nodes: Iterable[Node]) -> int:
-        """Bitmask of a node collection."""
-        mask = 0
-        for node in nodes:
-            mask |= 1 << self.index[node]
-        return mask
-
-    def nodes_of(self, mask: int) -> FrozenSet[Node]:
-        """Node set corresponding to a bitmask."""
-        return frozenset(self.nodes[i] for i in range(self.n) if mask & (1 << i))
-
-    def reach_masks(self, excluded_mask: int) -> List[int]:
-        """``reach_v(F)`` for every node ``v`` outside ``F``, as bitmasks.
-
-        ``reach[v]`` is the set of nodes outside ``F`` (including ``v``) with
-        a directed path to ``v`` in the graph induced on ``V \\ F``; entries
-        for excluded nodes are 0.  Computed by iterating
-        ``reach[v] ← {v} ∪ ⋃_{u ∈ pred(v) \\ F} reach[u]`` to a fixed point.
-        """
-        allowed = self.full_mask & ~excluded_mask
-        reach = [0] * self.n
-        for i in range(self.n):
-            if allowed & (1 << i):
-                reach[i] = 1 << i
-        changed = True
-        while changed:
-            changed = False
-            for i in range(self.n):
-                if not (allowed & (1 << i)):
-                    continue
-                acc = reach[i]
-                preds = self.pred_masks[i] & allowed
-                j = preds
-                while j:
-                    low = j & -j
-                    acc |= reach[low.bit_length() - 1]
-                    j ^= low
-                if acc != reach[i]:
-                    reach[i] = acc
-                    changed = True
-        return reach
-
-    def reach_mask_of(self, node: Node, excluded: Iterable[Node]) -> int:
-        """``reach_node(excluded)`` as a bitmask (single-node convenience)."""
-        excluded_mask = self.mask_of(excluded)
-        return self.reach_masks(excluded_mask)[self.index[node]]
+def _iter_subset_masks(available: Sequence[int], max_size: int) -> Iterator[int]:
+    """Bitmasks of all subsets of ``available`` bit indices, small first."""
+    bound = min(max_size, len(available))
+    for size in range(bound + 1):
+        for combo in combinations(available, size):
+            mask = 0
+            for bit in combo:
+                mask |= 1 << bit
+            yield mask
 
 
 # ----------------------------------------------------------------------
-# core pairwise-intersection engine
+# core sweeps (operate on a BitsetIndex, return index-level tuples)
 # ----------------------------------------------------------------------
+def _one_reach_core(
+    index: BitsetIndex, shared_mask: int
+) -> Tuple[Optional[Tuple[int, int, int, int]], int]:
+    """Pairwise reach-intersection check under one shared exclusion.
+
+    Returns ``(violation, checks)`` where ``violation`` is
+    ``(u_index, 0, v_index, 0)`` or ``None``.
+    """
+    reach = index.reach_masks(shared_mask)
+    outside = [i for i in range(index.n) if not (shared_mask & (1 << i))]
+    checks = 0
+    for a in range(len(outside)):
+        for b in range(a + 1, len(outside)):
+            checks += 1
+            if reach[outside[a]] & reach[outside[b]] == 0:
+                return (outside[a], 0, outside[b], 0), checks
+    return None, checks
+
+
 def _two_reach_core(
-    bitgraph: _BitGraph,
+    index: BitsetIndex,
     f_budget: int,
     base_excluded_mask: int,
 ) -> Tuple[Optional[Tuple[int, int, int, int]], int]:
@@ -133,18 +109,15 @@ def _two_reach_core(
     Returns ``(violation, checks)`` where ``violation`` is
     ``(u_index, fu_mask, v_index, fv_mask)`` or ``None``.
     """
-    n = bitgraph.n
+    n = index.n
     available = [i for i in range(n) if not (base_excluded_mask & (1 << i))]
     checks = 0
 
     # Collect (node_index, private_mask, reach_mask); group per private set so
     # reach sets for all nodes under the same exclusion are computed together.
     entries: List[Tuple[int, int, int]] = []
-    for private in iter_subsets(available, f_budget):
-        private_mask = 0
-        for node_index in private:
-            private_mask |= 1 << node_index
-        reach = bitgraph.reach_masks(base_excluded_mask | private_mask)
+    for private_mask in _iter_subset_masks(available, f_budget):
+        reach = index.reach_masks(base_excluded_mask | private_mask)
         for i in available:
             if private_mask & (1 << i):
                 continue
@@ -154,7 +127,7 @@ def _two_reach_core(
     # contains its own node... two different nodes with the same mask still
     # intersect because the mask is non-empty and shared).  Only distinct
     # masks can be disjoint.  Keep one representative per mask.
-    full = bitgraph.full_mask & ~base_excluded_mask
+    full = index.full_mask & ~base_excluded_mask
     representative: Dict[int, Tuple[int, int]] = {}
     for node_index, private_mask, mask in entries:
         if mask == full:
@@ -174,24 +147,92 @@ def _two_reach_core(
     return None, checks
 
 
+# ----------------------------------------------------------------------
+# parallel fan-out over the shared-set enumeration
+# ----------------------------------------------------------------------
+def _shared_sweep_worker(args):
+    """Worker: sweep a chunk of shared-exclusion masks on a rebuilt engine.
+
+    Must stay a module-level function (pickled by reference when the pool
+    uses the ``spawn`` start method).
+    """
+    payload, f_budget, shared_masks, mode = args
+    index = BitsetIndex.from_payload(payload)
+    total = 0
+    for shared_mask in shared_masks:
+        if mode == "one":
+            violation, checks = _one_reach_core(index, shared_mask)
+        else:
+            violation, checks = _two_reach_core(index, f_budget, shared_mask)
+        total += checks
+        if violation is not None:
+            return violation, shared_mask, total
+    return None, 0, total
+
+
+def _sweep_shared(
+    index: BitsetIndex,
+    shared_budget: int,
+    f_budget: int,
+    mode: str,
+    parallel: Optional[int],
+) -> Tuple[Optional[Tuple[int, int, int, int]], int, int]:
+    """Sweep all shared exclusions serially or across ``parallel`` workers.
+
+    Returns ``(violation, shared_mask, total_checks)``.
+    """
+    all_bits = list(range(index.n))
+    shared_masks = list(_iter_subset_masks(all_bits, shared_budget))
+
+    if not parallel or parallel <= 1 or len(shared_masks) <= 1:
+        total = 0
+        for shared_mask in shared_masks:
+            if mode == "one":
+                violation, checks = _one_reach_core(index, shared_mask)
+            else:
+                violation, checks = _two_reach_core(index, f_budget, shared_mask)
+            total += checks
+            if violation is not None:
+                return violation, shared_mask, total
+        return None, 0, total
+
+    import multiprocessing
+
+    # Round-robin chunking balances the uneven per-subset cost (larger
+    # exclusions are cheaper: fewer live nodes).
+    chunks = [shared_masks[i::parallel] for i in range(parallel)]
+    chunks = [chunk for chunk in chunks if chunk]
+    payload = index.to_payload()
+    jobs = [(payload, f_budget, chunk, mode) for chunk in chunks]
+    found: Optional[Tuple[Tuple[int, int, int, int], int]] = None
+    total = 0
+    with multiprocessing.Pool(processes=min(parallel, len(chunks))) as pool:
+        for violation, shared_mask, checks in pool.imap_unordered(
+            _shared_sweep_worker, jobs
+        ):
+            total += checks
+            if violation is not None:
+                found = (violation, shared_mask)
+                break  # the pool context terminates outstanding workers
+    if found is None:
+        return None, 0, total
+    return found[0], found[1], total
+
+
 def _build_violation(
-    bitgraph: _BitGraph,
+    index: BitsetIndex,
     shared_mask: int,
     violation: Tuple[int, int, int, int],
 ) -> ReachViolation:
     """Convert a core violation tuple into a :class:`ReachViolation`."""
     u_index, fu_mask, v_index, fv_mask = violation
-    u = bitgraph.nodes[u_index]
-    v = bitgraph.nodes[v_index]
-    shared = bitgraph.nodes_of(shared_mask)
-    fu = bitgraph.nodes_of(fu_mask)
-    fv = bitgraph.nodes_of(fv_mask)
-    reach_u = bitgraph.nodes_of(
-        bitgraph.reach_masks(shared_mask | fu_mask)[u_index]
-    )
-    reach_v = bitgraph.nodes_of(
-        bitgraph.reach_masks(shared_mask | fv_mask)[v_index]
-    )
+    u = index.nodes[u_index]
+    v = index.nodes[v_index]
+    shared = index.nodes_of(shared_mask)
+    fu = index.nodes_of(fu_mask)
+    fv = index.nodes_of(fv_mask)
+    reach_u = index.nodes_of(index.reach_masks(shared_mask | fu_mask)[u_index])
+    reach_v = index.nodes_of(index.reach_masks(shared_mask | fv_mask)[v_index])
     return ReachViolation(
         u=u,
         v=v,
@@ -213,36 +254,27 @@ def _validate(graph: DiGraph, f: int) -> None:
         raise InvalidFaultBoundError("cannot evaluate conditions on an empty graph")
 
 
-def check_one_reach(graph: DiGraph, f: int) -> ConditionReport:
+def check_one_reach(
+    graph: DiGraph, f: int, *, parallel: Optional[int] = None
+) -> ConditionReport:
     """Check the 1-reach condition (Definition 3).
 
     For any ``F`` with ``|F| ≤ f`` and any nodes ``u, v ∉ F``:
-    ``reach_u(F) ∩ reach_v(F) ≠ ∅``.
+    ``reach_u(F) ∩ reach_v(F) ≠ ∅``.  ``parallel=N`` fans the shared-set
+    enumeration out over ``N`` worker processes.
     """
     _validate(graph, f)
-    bitgraph = _BitGraph(graph)
-    checks = 0
-    for shared in iter_subsets(list(range(bitgraph.n)), f):
-        shared_mask = 0
-        for node_index in shared:
-            shared_mask |= 1 << node_index
-        reach = bitgraph.reach_masks(shared_mask)
-        outside = [i for i in range(bitgraph.n) if not (shared_mask & (1 << i))]
-        for a in range(len(outside)):
-            for b in range(a + 1, len(outside)):
-                checks += 1
-                if reach[outside[a]] & reach[outside[b]] == 0:
-                    violation = _build_violation(
-                        bitgraph, shared_mask, (outside[a], 0, outside[b], 0)
-                    )
-                    return ConditionReport(
-                        condition="1-reach",
-                        f=f,
-                        holds=False,
-                        reach_violation=violation,
-                        checks_performed=checks,
-                    )
-    return ConditionReport(condition="1-reach", f=f, holds=True, checks_performed=checks)
+    index = BitsetIndex.for_graph(graph)
+    violation, shared_mask, checks = _sweep_shared(index, f, 0, "one", parallel)
+    if violation is None:
+        return ConditionReport(condition="1-reach", f=f, holds=True, checks_performed=checks)
+    return ConditionReport(
+        condition="1-reach",
+        f=f,
+        holds=False,
+        reach_violation=_build_violation(index, shared_mask, violation),
+        checks_performed=checks,
+    )
 
 
 def check_two_reach(graph: DiGraph, f: int) -> ConditionReport:
@@ -252,51 +284,48 @@ def check_two_reach(graph: DiGraph, f: int) -> ConditionReport:
     ``|Fu|, |Fv| ≤ f``: ``reach_v(Fv) ∩ reach_u(Fu) ≠ ∅``.
     """
     _validate(graph, f)
-    bitgraph = _BitGraph(graph)
-    violation, checks = _two_reach_core(bitgraph, f, 0)
+    index = BitsetIndex.for_graph(graph)
+    violation, checks = _two_reach_core(index, f, 0)
     if violation is None:
         return ConditionReport(condition="2-reach", f=f, holds=True, checks_performed=checks)
     return ConditionReport(
         condition="2-reach",
         f=f,
         holds=False,
-        reach_violation=_build_violation(bitgraph, 0, violation),
+        reach_violation=_build_violation(index, 0, violation),
         checks_performed=checks,
     )
 
 
-def check_three_reach(graph: DiGraph, f: int) -> ConditionReport:
+def check_three_reach(
+    graph: DiGraph, f: int, *, parallel: Optional[int] = None
+) -> ConditionReport:
     """Check the 3-reach condition (Definition 3) — the paper's tight condition.
 
     For any ``F, Fu, Fv`` with ``|F|, |Fu|, |Fv| ≤ f``, ``u ∉ F ∪ Fu`` and
     ``v ∉ F ∪ Fv``: ``reach_v(F ∪ Fv) ∩ reach_u(F ∪ Fu) ≠ ∅``.
 
     Equivalently (Appendix A): 2-reach holds in ``G_{V \\ F}`` for every
-    ``F`` with ``|F| ≤ f`` — which is how the enumeration is organised.
+    ``F`` with ``|F| ≤ f`` — which is how the enumeration is organised (and
+    what ``parallel=N`` distributes across worker processes).
     """
     _validate(graph, f)
-    bitgraph = _BitGraph(graph)
-    total_checks = 0
-    for shared in iter_subsets(list(range(bitgraph.n)), f):
-        shared_mask = 0
-        for node_index in shared:
-            shared_mask |= 1 << node_index
-        violation, checks = _two_reach_core(bitgraph, f, shared_mask)
-        total_checks += checks
-        if violation is not None:
-            return ConditionReport(
-                condition="3-reach",
-                f=f,
-                holds=False,
-                reach_violation=_build_violation(bitgraph, shared_mask, violation),
-                checks_performed=total_checks,
-            )
+    index = BitsetIndex.for_graph(graph)
+    violation, shared_mask, checks = _sweep_shared(index, f, f, "two", parallel)
+    if violation is None:
+        return ConditionReport(condition="3-reach", f=f, holds=True, checks_performed=checks)
     return ConditionReport(
-        condition="3-reach", f=f, holds=True, checks_performed=total_checks
+        condition="3-reach",
+        f=f,
+        holds=False,
+        reach_violation=_build_violation(index, shared_mask, violation),
+        checks_performed=checks,
     )
 
 
-def check_k_reach(graph: DiGraph, f: int, k: int) -> ConditionReport:
+def check_k_reach(
+    graph: DiGraph, f: int, k: int, *, parallel: Optional[int] = None
+) -> ConditionReport:
     """Check the generalized k-reach condition (Definition 20).
 
     The condition grants each node an exclusion budget consisting of a shared
@@ -304,38 +333,36 @@ def check_k_reach(graph: DiGraph, f: int, k: int) -> ConditionReport:
     of size ``≤ f`` each (a union of ``j`` sets of size ``≤ f`` is simply a
     set of size ``≤ j·f``, which is how the budget is enumerated).  For
     ``k = 1, 2, 3`` this coincides with the conditions of Definition 3 (the
-    specialised checkers are used directly).
+    specialised checkers are used directly).  ``parallel=N`` fans the
+    shared-set enumeration out over ``N`` worker processes (2-reach has no
+    shared enumeration, so it always runs in-process).
     """
     _validate(graph, f)
     if k < 1:
         raise InvalidFaultBoundError(k)
     if k == 1:
-        report = check_one_reach(graph, f)
+        report = check_one_reach(graph, f, parallel=parallel)
     elif k == 2:
         report = check_two_reach(graph, f)
     elif k == 3:
-        report = check_three_reach(graph, f)
+        report = check_three_reach(graph, f, parallel=parallel)
     else:
-        bitgraph = _BitGraph(graph)
+        index = BitsetIndex.for_graph(graph)
         private_budget = (k // 2) * f
         shared_budget = f if k % 2 == 1 else 0
-        total_checks = 0
-        for shared in iter_subsets(list(range(bitgraph.n)), shared_budget):
-            shared_mask = 0
-            for node_index in shared:
-                shared_mask |= 1 << node_index
-            violation, checks = _two_reach_core(bitgraph, private_budget, shared_mask)
-            total_checks += checks
-            if violation is not None:
-                return ConditionReport(
-                    condition=f"{k}-reach",
-                    f=f,
-                    holds=False,
-                    reach_violation=_build_violation(bitgraph, shared_mask, violation),
-                    checks_performed=total_checks,
-                )
+        violation, shared_mask, checks = _sweep_shared(
+            index, shared_budget, private_budget, "two", parallel
+        )
+        if violation is None:
+            return ConditionReport(
+                condition=f"{k}-reach", f=f, holds=True, checks_performed=checks
+            )
         return ConditionReport(
-            condition=f"{k}-reach", f=f, holds=True, checks_performed=total_checks
+            condition=f"{k}-reach",
+            f=f,
+            holds=False,
+            reach_violation=_build_violation(index, shared_mask, violation),
+            checks_performed=checks,
         )
     # Re-label the specialised report with the generic condition name.
     return ConditionReport(
@@ -347,7 +374,9 @@ def check_k_reach(graph: DiGraph, f: int, k: int) -> ConditionReport:
     )
 
 
-def max_tolerable_f(graph: DiGraph, k: int = 3, upper_bound: int = None) -> int:
+def max_tolerable_f(
+    graph: DiGraph, k: int = 3, upper_bound: int = None, *, parallel: Optional[int] = None
+) -> int:
     """Largest ``f`` for which the k-reach condition holds (resilience).
 
     Returns ``-1`` when even ``f = 0`` fails (e.g. a graph with no common
@@ -357,7 +386,7 @@ def max_tolerable_f(graph: DiGraph, k: int = 3, upper_bound: int = None) -> int:
     limit = graph.num_nodes if upper_bound is None else upper_bound
     best = -1
     for f in range(limit + 1):
-        if check_k_reach(graph, f, k).holds:
+        if check_k_reach(graph, f, k, parallel=parallel).holds:
             best = f
         else:
             break

@@ -4,6 +4,10 @@ Public surface
 --------------
 ``DiGraph``
     Simple directed graph (Section 2's network model).
+``bitset``
+    The shared integer-bitmask engine (``BitsetIndex``): reach sets, SCCs,
+    reduced-graph and source-component masks — one index per graph, shared
+    by every condition checker and the BW verification path.
 ``paths``
     Simple / redundant path enumeration and f-covers (Section 3, Def. 4).
 ``reach``
@@ -19,6 +23,7 @@ Public surface
     (Table 1).
 """
 
+from repro.graphs.bitset import BitsetIndex, iter_bits, popcount
 from repro.graphs.digraph import DiGraph
 from repro.graphs.generators import (
     bidirected_complete,
@@ -95,7 +100,10 @@ from repro.graphs.reach import (
 )
 
 __all__ = [
+    "BitsetIndex",
     "DiGraph",
+    "iter_bits",
+    "popcount",
     # generators
     "bidirected_complete",
     "bidirected_cycle",

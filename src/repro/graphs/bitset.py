@@ -1,0 +1,496 @@
+"""Shared integer-bitmask engine for reach sets, SCCs and source components.
+
+Every condition checker of the paper and the Byzantine-Witness verification
+path reduce to the same primitive: reach sets / source components evaluated
+under candidate fault sets, over an enumeration that is exponential in ``f``.
+:class:`BitsetIndex` is the one substrate they all share:
+
+* a stable node ↔ bit mapping (insertion order of :attr:`DiGraph.nodes`),
+* predecessor / successor adjacency masks,
+* mask ↔ ``frozenset`` codecs (:meth:`mask_of` / :meth:`nodes_of`),
+* fixed-point backward reachability (:meth:`reach_masks`, Definition 2),
+* forward reachability in the *reduced graph* of Definition 5
+  (:meth:`descendant_masks` with a ``blocked_mask``),
+* the source component of Definition 6 (:meth:`source_component_mask`),
+* strongly connected components via a bitmask iterative Tarjan
+  (:meth:`scc_masks`).
+
+Dense-bitset transitive closure is the standard trick for
+transitive-closure-heavy structural analysis (cppdep / APGL use the same
+representation); on the graph sizes the paper discusses (``n ≤ 64``) every
+node set fits one machine word and set algebra becomes single integer ops.
+
+Sharing
+-------
+:meth:`BitsetIndex.for_graph` returns a per-graph shared instance so that all
+checkers, caches and the BW verification path operating on the same
+:class:`DiGraph` reuse one index (and therefore one adjacency encoding).  The
+instance is invalidated automatically when the graph is mutated (tracked via
+the graph's mutation counter).
+
+Multiprocessing
+---------------
+Indexes serialise to a compact picklable payload (:meth:`to_payload` /
+:meth:`from_payload`) so the ``parallel=N`` condition sweeps can ship the
+adjacency masks — not the whole graph object — to worker processes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.graphs.digraph import DiGraph, Node
+
+try:  # pragma: no cover - trivial dispatch
+    _popcount = int.bit_count  # Python >= 3.10
+except AttributeError:  # pragma: no cover - exercised only on Python 3.9
+    def _popcount(mask: int) -> int:
+        return bin(mask).count("1")
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in ``mask`` (portable across Python 3.9–3.12)."""
+    return _popcount(mask)
+
+
+def iter_bits(mask: int) -> Iterable[int]:
+    """Yield the indices of the set bits of ``mask`` (lowest first)."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def _closure_masks(adj: Sequence[int], allowed_mask: int, n: int) -> List[int]:
+    """Reflexive-transitive closure of the digraph given by adjacency masks.
+
+    ``closure[i]`` is the set of bits reachable from ``i`` by following
+    ``adj`` edges inside ``allowed_mask`` (always including ``i`` itself);
+    entries outside ``allowed_mask`` are 0.  Implemented as a single-pass
+    bitmask Tarjan: components come out in reverse topological order, so by
+    the time a component is emitted the closures of all its successors are
+    known and one OR-accumulation per component finishes the job — no
+    repeated fixed-point sweeps.  Bit loops are inlined (no generator calls)
+    because this is the innermost kernel of every reach / source-component
+    query.
+    """
+    closure = [0] * n
+    indices: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack_mask = 0
+    stack: List[int] = []
+    counter = 0
+
+    roots = allowed_mask
+    while roots:
+        root_bit = roots & -roots
+        roots ^= root_bit
+        root = root_bit.bit_length() - 1
+        if root in indices:
+            continue
+        indices[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack_mask |= root_bit
+        work: List[Tuple[int, int]] = [(root, adj[root] & allowed_mask)]
+        while work:
+            node, remaining = work.pop()
+            advanced = False
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                nxt = low.bit_length() - 1
+                if nxt not in indices:
+                    work.append((node, remaining))
+                    indices[nxt] = lowlink[nxt] = counter
+                    counter += 1
+                    stack.append(nxt)
+                    on_stack_mask |= low
+                    work.append((nxt, adj[nxt] & allowed_mask))
+                    advanced = True
+                    break
+                if on_stack_mask & low and indices[nxt] < lowlink[node]:
+                    lowlink[node] = indices[nxt]
+            if advanced:
+                continue
+            if work:
+                parent = work[-1][0]
+                if lowlink[node] < lowlink[parent]:
+                    lowlink[parent] = lowlink[node]
+            if lowlink[node] == indices[node]:
+                component = 0
+                while True:
+                    member = stack.pop()
+                    member_bit = 1 << member
+                    on_stack_mask &= ~member_bit
+                    component |= member_bit
+                    if member == node:
+                        break
+                successors = 0
+                bits = component
+                while bits:
+                    low = bits & -bits
+                    bits ^= low
+                    successors |= adj[low.bit_length() - 1]
+                successors &= allowed_mask & ~component
+                reach = component
+                while successors:
+                    low = successors & -successors
+                    successors ^= low
+                    reach |= closure[low.bit_length() - 1]
+                bits = component
+                while bits:
+                    low = bits & -bits
+                    bits ^= low
+                    closure[low.bit_length() - 1] = reach
+    return closure
+
+
+class BitsetIndex:
+    """Bitmask view of a :class:`DiGraph` with reach / SCC / source-component
+    primitives.
+
+    Bit ``i`` corresponds to ``self.nodes[i]`` (graph insertion order), so
+    masks are canonical integers: two equal node sets always encode to the
+    same ``int``, which is what the memo caches key on.
+    """
+
+    __slots__ = ("nodes", "index", "n", "full_mask", "pred_masks", "succ_masks",
+                 "_reach_memo", "_source_memo")
+
+    #: Bound on each internal memo.  The shared instance lives as long as its
+    #: graph, so the memos must be self-limiting: exhaustive sweeps on larger
+    #: graphs evict oldest entries instead of growing without bound.  4096
+    #: reach tuples of 64 small ints is ~2 MB worst case.
+    MEMO_LIMIT = 4096
+
+    def __init__(self, graph: DiGraph) -> None:
+        nodes = list(graph.nodes)
+        pred_masks = [0] * len(nodes)
+        succ_masks = [0] * len(nodes)
+        index = {node: i for i, node in enumerate(nodes)}
+        for u, v in graph.edges:
+            ui, vi = index[u], index[v]
+            pred_masks[vi] |= 1 << ui
+            succ_masks[ui] |= 1 << vi
+        self._init_from_parts(nodes, pred_masks, succ_masks)
+
+    def _init_from_parts(
+        self, nodes: List[Node], pred_masks: List[int], succ_masks: List[int]
+    ) -> None:
+        self.nodes = nodes
+        self.index = {node: i for i, node in enumerate(nodes)}
+        self.n = len(nodes)
+        self.full_mask = (1 << self.n) - 1
+        self.pred_masks = pred_masks
+        self.succ_masks = succ_masks
+        #: excluded_mask → tuple of per-node reach masks (Definition 2).
+        self._reach_memo: Dict[int, Tuple[int, ...]] = {}
+        #: blocked_mask → source-component mask (Definition 6).
+        self._source_memo: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # shared per-graph instances
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_graph(cls, graph: DiGraph) -> "BitsetIndex":
+        """The shared index of ``graph``, rebuilt only after mutations.
+
+        The cache lives on the graph instance itself and is keyed by the
+        graph's mutation counter, so every consumer (condition checkers,
+        reach/source-component caches, BW topology precomputation) operating
+        on one graph shares one index.
+        """
+        version = getattr(graph, "_version", None)
+        cached = graph.__dict__.get("_bitset_index")
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        instance = cls(graph)
+        graph.__dict__["_bitset_index"] = (version, instance)
+        return instance
+
+    # ------------------------------------------------------------------
+    # multiprocessing payload
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Compact picklable encoding (adjacency masks only, no node labels)."""
+        return tuple(self.pred_masks), tuple(self.succ_masks)
+
+    @classmethod
+    def from_payload(
+        cls, payload: Tuple[Sequence[int], Sequence[int]]
+    ) -> "BitsetIndex":
+        """Rebuild an index from :meth:`to_payload` output.
+
+        Nodes are anonymised to ``0..n-1`` bit positions — workers only deal
+        in masks; decoding back to node labels happens in the parent process.
+        """
+        pred_masks, succ_masks = payload
+        instance = cls.__new__(cls)
+        instance._init_from_parts(
+            list(range(len(pred_masks))), list(pred_masks), list(succ_masks)
+        )
+        return instance
+
+    # ------------------------------------------------------------------
+    # codecs
+    # ------------------------------------------------------------------
+    def mask_of(self, nodes: Iterable[Node], ignore_missing: bool = False) -> int:
+        """Bitmask of a node collection.
+
+        Unknown nodes raise ``KeyError`` unless ``ignore_missing`` is set
+        (the lenient mode matches ``DiGraph.exclude_nodes``, which silently
+        drops nodes that are not in the graph).
+        """
+        mask = 0
+        index = self.index
+        if ignore_missing:
+            for node in nodes:
+                i = index.get(node)
+                if i is not None:
+                    mask |= 1 << i
+        else:
+            for node in nodes:
+                mask |= 1 << index[node]
+        return mask
+
+    def nodes_of(self, mask: int) -> FrozenSet[Node]:
+        """Node set corresponding to a bitmask."""
+        nodes = self.nodes
+        return frozenset(nodes[i] for i in iter_bits(mask))
+
+    # ------------------------------------------------------------------
+    # reachability (Definition 2)
+    # ------------------------------------------------------------------
+    def reach_masks(self, excluded_mask: int = 0) -> Tuple[int, ...]:
+        """``reach_v(F)`` for every node ``v`` outside ``F``, as bitmasks.
+
+        ``reach[i]`` is the set of nodes outside ``F`` (including ``i``) with
+        a directed path to ``i`` in the graph induced on ``V \\ F``; entries
+        for excluded nodes are 0.  Backward reachability is the forward
+        closure of the predecessor adjacency, computed in one bitmask-Tarjan
+        pass and memoised per ``excluded_mask`` (checkers revisit the same
+        exclusion for many node pairs).
+        """
+        memo = self._reach_memo
+        cached = memo.get(excluded_mask)
+        if cached is not None:
+            return cached
+        allowed = self.full_mask & ~excluded_mask
+        result = tuple(_closure_masks(self.pred_masks, allowed, self.n))
+        if len(memo) >= self.MEMO_LIMIT:
+            memo.pop(next(iter(memo)))  # insertion order: evict the oldest
+        memo[excluded_mask] = result
+        return result
+
+    def reach_mask(self, node: Node, excluded_mask: int = 0) -> int:
+        """``reach_node(F)`` as a bitmask (single-node convenience)."""
+        return self.reach_masks(excluded_mask)[self.index[node]]
+
+    def descendant_masks(
+        self, excluded_mask: int = 0, blocked_mask: int = 0
+    ) -> Tuple[int, ...]:
+        """Forward closure: for every live node the set it can reach.
+
+        ``excluded_mask`` removes nodes entirely (induced subgraph);
+        ``blocked_mask`` keeps the nodes but cuts their *outgoing* edges —
+        exactly the reduced-graph construction of Definition 5.  Entries for
+        excluded nodes are 0; blocked-but-present nodes reach only
+        themselves.
+        """
+        allowed = self.full_mask & ~excluded_mask
+        if blocked_mask:
+            adj = self.reduced_succ_masks(blocked_mask)
+        else:
+            adj = self.succ_masks
+        return tuple(_closure_masks(adj, allowed, self.n))
+
+    # ------------------------------------------------------------------
+    # reduced graph (Definition 5) and source component (Definition 6)
+    # ------------------------------------------------------------------
+    def reduced_succ_masks(self, blocked_mask: int) -> Tuple[int, ...]:
+        """Successor masks of the reduced graph ``G_{F1,F2}`` (Definition 5).
+
+        Outgoing edges of blocked nodes are cut; the vertex set (and incoming
+        edges into blocked nodes) are untouched.
+        """
+        return tuple(
+            0 if blocked_mask & (1 << i) else succ
+            for i, succ in enumerate(self.succ_masks)
+        )
+
+    def source_component_mask(self, blocked_mask: int = 0) -> int:
+        """The source component ``S_{F1,F2}`` of Definition 6, as a bitmask.
+
+        Nodes of the reduced graph (outgoing edges of ``blocked_mask`` cut)
+        with directed paths to *all* nodes of ``V``.  Memoised per
+        ``blocked_mask`` — Completeness evaluates ``S_{F_u,F_w}`` for every
+        pair of candidate fault sets, but the component only depends on the
+        union.
+        """
+        memo = self._source_memo
+        cached = memo.get(blocked_mask)
+        if cached is not None:
+            return cached
+        result = self._source_component_uncached(blocked_mask)
+        if len(memo) >= self.MEMO_LIMIT:
+            memo.pop(next(iter(memo)))  # insertion order: evict the oldest
+        memo[blocked_mask] = result
+        return result
+
+    def _source_component_uncached(self, blocked_mask: int) -> int:
+        """Mother-vertex scan: O(V + E) masked BFS waves instead of an
+        all-pairs closure.
+
+        Sweep the vertices in bit order, forward-BFS from each not-yet-seen
+        one; only the last start can reach everything (any earlier
+        full-reaching vertex would have absorbed every later start into its
+        wave).  If that candidate's descendants are all of ``V``, the
+        component is exactly the candidate plus everything that reaches it
+        (one backward wave) — each such node reaches all of ``V`` through
+        the candidate.
+        """
+        full = self.full_mask
+        if full == 0:
+            return 0
+        succ_masks = self.succ_masks
+        visited = 0
+        candidate_bit = 0
+        candidate_desc = 0
+        starts = full
+        while starts:
+            start_bit = starts & -starts
+            starts ^= start_bit
+            if visited & start_bit:
+                continue
+            seen = start_bit
+            frontier = start_bit
+            while True:
+                expand = frontier & ~blocked_mask
+                nxt = 0
+                while expand:
+                    low = expand & -expand
+                    expand ^= low
+                    nxt |= succ_masks[low.bit_length() - 1]
+                frontier = nxt & ~seen
+                if not frontier:
+                    break
+                seen |= frontier
+            visited |= seen
+            candidate_bit = start_bit
+            candidate_desc = seen
+        if candidate_desc != full:
+            return 0
+        pred_masks = self.pred_masks
+        members = candidate_bit
+        frontier = candidate_bit
+        while frontier:
+            nxt = 0
+            while frontier:
+                low = frontier & -frontier
+                frontier ^= low
+                nxt |= pred_masks[low.bit_length() - 1]
+            frontier = nxt & ~blocked_mask & ~members
+            members |= frontier
+        return members
+
+    # ------------------------------------------------------------------
+    # strongly connected components (bitmask iterative Tarjan)
+    # ------------------------------------------------------------------
+    def scc_masks(self, allowed_mask: Optional[int] = None) -> List[int]:
+        """SCCs of the subgraph induced on ``allowed_mask``, as bitmasks.
+
+        Returned in reverse topological order of the condensation (a
+        component is emitted only after every component it can reach),
+        matching :meth:`DiGraph.strongly_connected_components`.
+        """
+        if allowed_mask is None:
+            allowed_mask = self.full_mask
+        succ_masks = self.succ_masks
+        indices: Dict[int, int] = {}
+        lowlinks: Dict[int, int] = {}
+        on_stack = 0
+        stack: List[int] = []
+        components: List[int] = []
+        counter = 0
+
+        for root in iter_bits(allowed_mask):
+            if root in indices:
+                continue
+            work: List[Tuple[int, "Iterable[int]"]] = [
+                (root, iter_bits(succ_masks[root] & allowed_mask))
+            ]
+            indices[root] = lowlinks[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack |= 1 << root
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for nxt in successors:
+                    if nxt not in indices:
+                        indices[nxt] = lowlinks[nxt] = counter
+                        counter += 1
+                        stack.append(nxt)
+                        on_stack |= 1 << nxt
+                        work.append((nxt, iter_bits(succ_masks[nxt] & allowed_mask)))
+                        advanced = True
+                        break
+                    if on_stack & (1 << nxt):
+                        lowlinks[node] = min(lowlinks[node], indices[nxt])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+                if lowlinks[node] == indices[node]:
+                    component = 0
+                    while True:
+                        member = stack.pop()
+                        on_stack &= ~(1 << member)
+                        component |= 1 << member
+                        if member == node:
+                            break
+                    components.append(component)
+        return components
+
+    def in_neighbors_mask(self, subset_mask: int, allowed_mask: Optional[int] = None) -> int:
+        """Incoming neighbourhood ``N-_B`` of ``subset`` restricted to
+        ``allowed \\ subset`` (Definition 14's counting substrate)."""
+        if allowed_mask is None:
+            allowed_mask = self.full_mask
+        incoming = 0
+        pred_masks = self.pred_masks
+        for i in iter_bits(subset_mask):
+            incoming |= pred_masks[i]
+        return incoming & allowed_mask & ~subset_mask
+
+    def is_strongly_connected_mask(self, subset_mask: int) -> bool:
+        """``True`` when the subgraph induced on ``subset_mask`` is strongly
+        connected (the empty mask is not)."""
+        if subset_mask == 0:
+            return False
+        root = (subset_mask & -subset_mask).bit_length() - 1
+        excluded = self.full_mask & ~subset_mask
+        if self.reach_masks(excluded)[root] != subset_mask:
+            return False
+        return self.descendant_masks(excluded)[root] == subset_mask
+
+    # ------------------------------------------------------------------
+    # memo management
+    # ------------------------------------------------------------------
+    def clear_memos(self) -> None:
+        """Drop the internal reach / source-component memos."""
+        self._reach_memo.clear()
+        self._source_memo.clear()
+
+    def memo_sizes(self) -> Dict[str, int]:
+        """Sizes of the internal memos (diagnostics for cache accounting)."""
+        return {
+            "reach_exclusions": len(self._reach_memo),
+            "source_components": len(self._source_memo),
+        }
+
+    def __repr__(self) -> str:
+        return f"<BitsetIndex n={self.n} memo={self.memo_sizes()}>"

@@ -54,6 +54,10 @@ class DiGraph:
     ) -> None:
         self._succ: Dict[Node, Set[Node]] = {}
         self._pred: Dict[Node, Set[Node]] = {}
+        #: Mutation counter consumed by derived-structure caches (e.g. the
+        #: shared :class:`~repro.graphs.bitset.BitsetIndex`) to detect when a
+        #: cached encoding of this graph has gone stale.
+        self._version = 0
         self.name = name
         if nodes is not None:
             for node in nodes:
@@ -70,6 +74,7 @@ class DiGraph:
         if node not in self._succ:
             self._succ[node] = set()
             self._pred[node] = set()
+            self._version += 1
 
     def add_nodes(self, nodes: Iterable[Node]) -> None:
         """Add every node of ``nodes``."""
@@ -86,8 +91,10 @@ class DiGraph:
             raise GraphError(f"self loops are not allowed (node {u!r})")
         self.add_node(u)
         self.add_node(v)
-        self._succ[u].add(v)
-        self._pred[v].add(u)
+        if v not in self._succ[u]:
+            self._succ[u].add(v)
+            self._pred[v].add(u)
+            self._version += 1
 
     def add_edges(self, edges: Iterable[Edge]) -> None:
         """Add every edge of ``edges``."""
@@ -105,6 +112,7 @@ class DiGraph:
             raise EdgeNotFoundError(u, v)
         self._succ[u].discard(v)
         self._pred[v].discard(u)
+        self._version += 1
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and all incident edges; raises if absent."""
@@ -116,6 +124,7 @@ class DiGraph:
             self._succ[pred].discard(node)
         del self._succ[node]
         del self._pred[node]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # basic queries

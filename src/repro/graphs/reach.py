@@ -14,16 +14,21 @@ These are the paper's central graph-theoretic gadgets:
 * Theorem 5 — under 3-reach, ``S_{F1,F2}`` propagates in ``V \\ F1`` to
   ``V \\ F1 \\ S`` and in ``V \\ F2`` to ``V \\ F2 \\ S``.
 
-All functions are exhaustive/exact; memoised helpers are provided because the
-Byzantine-Witness algorithm evaluates the same source components and reach
-sets for every candidate fault-set pair.
+All functions are exhaustive/exact.  Since the condition checkers, the
+Byzantine-Witness verification path and the analysis layer all evaluate these
+objects for (exponentially many) candidate fault sets, the set-level API here
+is a thin wrapper over the shared integer-bitmask engine
+(:class:`~repro.graphs.bitset.BitsetIndex`): node sets are encoded once per
+graph, queries run as word-level fixed points, and the memo caches are keyed
+by canonical ``excluded_mask`` integers rather than frozensets.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional
 
 from repro.exceptions import NodeNotFoundError
+from repro.graphs.bitset import BitsetIndex
 from repro.graphs.digraph import DiGraph, Node
 from repro.graphs.flow import max_disjoint_paths_from_set
 
@@ -42,24 +47,23 @@ def reach_set(graph: DiGraph, node: Node, excluded: Iterable[Node] = ()) -> Froz
     excluded_set = frozenset(excluded)
     if node in excluded_set:
         raise ValueError(f"node {node!r} cannot be in its own excluded set")
-    subgraph = graph.exclude_nodes(excluded_set)
-    result = set(subgraph.ancestors(node))
-    result.add(node)
-    return frozenset(result)
+    index = BitsetIndex.for_graph(graph)
+    excluded_mask = index.mask_of(excluded_set, ignore_missing=True)
+    return index.nodes_of(index.reach_mask(node, excluded_mask))
 
 
 def reach_sets_for_all_nodes(
     graph: DiGraph, excluded: Iterable[Node] = ()
 ) -> Dict[Node, FrozenSet[Node]]:
-    """``reach_v(F)`` for every node ``v ∉ F`` at once (single subgraph build)."""
-    excluded_set = frozenset(excluded)
-    subgraph = graph.exclude_nodes(excluded_set)
-    result: Dict[Node, FrozenSet[Node]] = {}
-    for node in subgraph.nodes:
-        reached = set(subgraph.ancestors(node))
-        reached.add(node)
-        result[node] = frozenset(reached)
-    return result
+    """``reach_v(F)`` for every node ``v ∉ F`` at once (single fixed point)."""
+    index = BitsetIndex.for_graph(graph)
+    excluded_mask = index.mask_of(excluded, ignore_missing=True)
+    reach = index.reach_masks(excluded_mask)
+    return {
+        node: index.nodes_of(reach[i])
+        for i, node in enumerate(index.nodes)
+        if not excluded_mask & (1 << i)
+    }
 
 
 def reduced_graph(graph: DiGraph, f1: Iterable[Node], f2: Iterable[Node]) -> DiGraph:
@@ -81,55 +85,107 @@ def source_component(graph: DiGraph, f1: Iterable[Node], f2: Iterable[Node]) -> 
     ``F1 ∪ F2`` (those nodes have no outgoing edges, hence cannot reach
     anything else), and it is the unique source SCC of the condensation.
     """
-    reduced = reduced_graph(graph, f1, f2)
-    everything = reduced.node_set()
-    members = set()
-    for node in reduced.nodes:
-        reachable = set(reduced.descendants(node))
-        reachable.add(node)
-        if reachable == set(everything):
-            members.add(node)
-    return frozenset(members)
+    index = BitsetIndex.for_graph(graph)
+    blocked_mask = index.mask_of(f1, ignore_missing=True) | index.mask_of(
+        f2, ignore_missing=True
+    )
+    return index.nodes_of(index.source_component_mask(blocked_mask))
 
 
-class SourceComponentCache:
-    """Memoised ``S_{F1,F2}`` lookups keyed by the unordered pair of sets.
+class _MaskKeyedCache:
+    """Shared plumbing of the memo caches: canonical integer keys, hit/miss
+    statistics, an optional size bound (oldest-first eviction) and
+    :meth:`clear`."""
+
+    def __init__(self, graph: DiGraph, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be a positive integer or None")
+        self._graph = graph
+        self._index = BitsetIndex.for_graph(graph)
+        self._cache: Dict = {}
+        self._max_entries = max_entries
+        self._hits = 0
+        self._misses = 0
+
+    def _store(self, key, value) -> None:
+        if self._max_entries is not None and len(self._cache) >= self._max_entries:
+            # Dicts preserve insertion order: evict the oldest entry.
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[key] = value
+
+    def clear(self) -> None:
+        """Drop every cached entry and reset the hit/miss statistics."""
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Cache accounting: ``hits``, ``misses`` and current ``size``."""
+        return {"hits": self._hits, "misses": self._misses, "size": len(self._cache)}
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+class SourceComponentCache(_MaskKeyedCache):
+    """Memoised ``S_{F1,F2}`` lookups keyed by the union's canonical bitmask.
 
     ``S_{F1,F2} = S_{F2,F1}`` (the definition only depends on ``F1 ∪ F2``),
-    so the cache key is simply ``frozenset(F1 | F2)``.
+    so the cache key is the integer mask of ``F1 ∪ F2`` — two enumerations
+    hitting the same union always share one entry.  ``max_entries`` bounds
+    the memo (oldest entries are evicted) for long-running sweeps.
     """
-
-    def __init__(self, graph: DiGraph) -> None:
-        self._graph = graph
-        self._cache: Dict[FrozenSet[Node], FrozenSet[Node]] = {}
 
     def get(self, f1: Iterable[Node], f2: Iterable[Node] = ()) -> FrozenSet[Node]:
         """Return ``S_{F1,F2}``, computing and caching on first use."""
-        key = frozenset(f1) | frozenset(f2)
-        if key not in self._cache:
-            self._cache[key] = source_component(self._graph, key, ())
-        return self._cache[key]
+        index = self._index
+        key = index.mask_of(f1, ignore_missing=True) | index.mask_of(
+            f2, ignore_missing=True
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._hits += 1
+            return cached
+        self._misses += 1
+        value = index.nodes_of(index.source_component_mask(key))
+        self._store(key, value)
+        return value
 
-    def __len__(self) -> int:
-        return len(self._cache)
+    def get_mask(self, blocked_mask: int) -> int:
+        """Mask-level variant for callers already operating on bitmasks."""
+        return self._index.source_component_mask(blocked_mask)
 
 
-class ReachSetCache:
-    """Memoised ``reach_v(F)`` lookups keyed by ``(v, frozenset(F))``."""
+class ReachSetCache(_MaskKeyedCache):
+    """Memoised ``reach_v(F)`` lookups keyed by ``(v_bit, excluded_mask)``.
 
-    def __init__(self, graph: DiGraph) -> None:
-        self._graph = graph
-        self._cache: Dict[Tuple[Node, FrozenSet[Node]], FrozenSet[Node]] = {}
+    Keys are canonical integers, so equal exclusions expressed as different
+    iterables (lists, sets, frozensets) always share one entry.
+    """
 
     def get(self, node: Node, excluded: Iterable[Node] = ()) -> FrozenSet[Node]:
         """Return ``reach_node(excluded)``, computing and caching on first use."""
-        key = (node, frozenset(excluded))
-        if key not in self._cache:
-            self._cache[key] = reach_set(self._graph, node, key[1])
-        return self._cache[key]
+        index = self._index
+        if node not in index.index:
+            raise NodeNotFoundError(node)
+        excluded_mask = index.mask_of(excluded, ignore_missing=True)
+        node_bit = index.index[node]
+        if excluded_mask & (1 << node_bit):
+            raise ValueError(f"node {node!r} cannot be in its own excluded set")
+        key = (node_bit, excluded_mask)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._hits += 1
+            return cached
+        self._misses += 1
+        value = index.nodes_of(index.reach_masks(excluded_mask)[node_bit])
+        self._store(key, value)
+        return value
 
-    def __len__(self) -> int:
-        return len(self._cache)
+    def get_mask(self, node: Node, excluded_mask: int) -> int:
+        """Mask-level variant for callers already operating on bitmasks."""
+        return self._index.reach_mask(node, excluded_mask)
 
 
 def propagates(
@@ -191,9 +247,6 @@ def theorem5_holds_for(
 
 def is_strongly_connected_subset(graph: DiGraph, nodes: Iterable[Node]) -> bool:
     """``True`` when the induced subgraph on ``nodes`` is strongly connected."""
-    subgraph = graph.induced_subgraph(nodes)
-    if subgraph.num_nodes == 0:
-        return False
-    if subgraph.num_nodes == 1:
-        return True
-    return subgraph.is_strongly_connected()
+    index = BitsetIndex.for_graph(graph)
+    subset_mask = index.mask_of(nodes, ignore_missing=True)
+    return index.is_strongly_connected_mask(subset_mask)

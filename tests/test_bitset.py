@@ -1,0 +1,270 @@
+"""Property-based tests for the shared bitmask engine (graphs/bitset.py).
+
+The engine must agree with (a) literal frozenset/BFS transcriptions of the
+paper's definitions — re-implemented here independently of the library — and
+(b) the ``networkx`` oracle, on random graphs and random exclusion sets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.bitset import BitsetIndex, iter_bits, popcount
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import complete_digraph, directed_cycle, figure_1a
+from repro.graphs.reach import (
+    ReachSetCache,
+    SourceComponentCache,
+    reach_set,
+    reach_sets_for_all_nodes,
+    source_component,
+)
+
+SETTINGS = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+# ----------------------------------------------------------------------
+# strategies and oracles
+# ----------------------------------------------------------------------
+@st.composite
+def graph_and_excluded(draw, max_nodes=7):
+    """A random simple digraph plus a random excluded node subset."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    graph = DiGraph(nodes=range(n))
+    for u in range(n):
+        for v in range(n):
+            if u != v and draw(st.booleans()):
+                graph.add_edge(u, v)
+    excluded = {node for node in range(n) if draw(st.booleans())}
+    return graph, excluded
+
+
+def _to_networkx(graph: DiGraph) -> nx.DiGraph:
+    oracle = nx.DiGraph()
+    oracle.add_nodes_from(graph.nodes)
+    oracle.add_edges_from(graph.edges)
+    return oracle
+
+
+def _reach_bfs(graph: DiGraph, node, excluded) -> frozenset:
+    """Literal Definition 2: backward BFS in the induced subgraph."""
+    excluded = set(excluded)
+    seen = {node}
+    queue = deque([node])
+    while queue:
+        current = queue.popleft()
+        for pred in graph.predecessors(current):
+            if pred not in excluded and pred not in seen:
+                seen.add(pred)
+                queue.append(pred)
+    return frozenset(seen)
+
+
+def _source_component_bfs(graph: DiGraph, blocked) -> frozenset:
+    """Literal Definition 6: per-node forward BFS in the reduced graph."""
+    blocked = set(blocked)
+    everything = set(graph.nodes)
+    members = set()
+    for node in graph.nodes:
+        seen = {node}
+        queue = deque([node])
+        while queue:
+            current = queue.popleft()
+            if current in blocked:
+                continue  # outgoing edges of blocked nodes are cut
+            for succ in graph.successors(current):
+                if succ not in seen:
+                    seen.add(succ)
+                    queue.append(succ)
+        if seen == everything:
+            members.add(node)
+    return frozenset(members)
+
+
+# ----------------------------------------------------------------------
+# reach masks
+# ----------------------------------------------------------------------
+class TestReachMasks:
+    @SETTINGS
+    @given(graph_and_excluded())
+    def test_reach_masks_match_bfs_and_networkx(self, data):
+        graph, excluded = data
+        index = BitsetIndex.for_graph(graph)
+        excluded_mask = index.mask_of(excluded)
+        reach = index.reach_masks(excluded_mask)
+        oracle = _to_networkx(graph.exclude_nodes(excluded))
+        for i, node in enumerate(index.nodes):
+            if node in excluded:
+                assert reach[i] == 0
+                continue
+            decoded = index.nodes_of(reach[i])
+            assert decoded == _reach_bfs(graph, node, excluded)
+            assert decoded == nx.ancestors(oracle, node) | {node}
+
+    @SETTINGS
+    @given(graph_and_excluded())
+    def test_reach_set_wrapper_matches_engine(self, data):
+        graph, excluded = data
+        outside = [node for node in graph.nodes if node not in excluded]
+        batch = reach_sets_for_all_nodes(graph, excluded)
+        assert set(batch) == set(outside)
+        for node in outside:
+            assert reach_set(graph, node, excluded) == batch[node]
+
+    def test_reach_masks_memoised_per_exclusion(self):
+        graph = figure_1a()
+        index = BitsetIndex.for_graph(graph)
+        first = index.reach_masks(0)
+        assert index.reach_masks(0) is first
+        index.clear_memos()
+        assert index.memo_sizes()["reach_exclusions"] == 0
+
+
+# ----------------------------------------------------------------------
+# SCC and source components
+# ----------------------------------------------------------------------
+class TestSccAndSourceComponents:
+    @SETTINGS
+    @given(graph_and_excluded())
+    def test_scc_masks_match_networkx(self, data):
+        graph, excluded = data
+        index = BitsetIndex.for_graph(graph)
+        allowed_mask = index.full_mask & ~index.mask_of(excluded)
+        components = {
+            index.nodes_of(mask) for mask in index.scc_masks(allowed_mask)
+        }
+        oracle = _to_networkx(graph.exclude_nodes(excluded))
+        expected = {frozenset(c) for c in nx.strongly_connected_components(oracle)}
+        assert components == expected
+
+    @SETTINGS
+    @given(graph_and_excluded())
+    def test_scc_masks_reverse_topological(self, data):
+        graph, excluded = data
+        index = BitsetIndex.for_graph(graph)
+        allowed_mask = index.full_mask & ~index.mask_of(excluded)
+        emitted = 0
+        for mask in index.scc_masks(allowed_mask):
+            # Everything a component points at (outside itself) must already
+            # have been emitted — that is reverse topological order.
+            for i in iter_bits(mask):
+                succs = index.succ_masks[i] & allowed_mask & ~mask
+                assert succs & ~emitted == 0
+            emitted |= mask
+
+    @SETTINGS
+    @given(graph_and_excluded())
+    def test_source_component_matches_literal_bfs(self, data):
+        graph, blocked = data
+        index = BitsetIndex.for_graph(graph)
+        mask = index.source_component_mask(index.mask_of(blocked))
+        assert index.nodes_of(mask) == _source_component_bfs(graph, blocked)
+        assert index.nodes_of(mask) == source_component(graph, blocked, ())
+
+    @SETTINGS
+    @given(graph_and_excluded())
+    def test_strong_connectivity_mask_matches_networkx(self, data):
+        graph, subset = data
+        index = BitsetIndex.for_graph(graph)
+        verdict = index.is_strongly_connected_mask(index.mask_of(subset))
+        if not subset:
+            assert verdict is False
+        else:
+            oracle = _to_networkx(graph.induced_subgraph(subset))
+            assert verdict == nx.is_strongly_connected(oracle)
+
+
+# ----------------------------------------------------------------------
+# codecs, payloads, shared instances
+# ----------------------------------------------------------------------
+class TestCodecsAndSharing:
+    @SETTINGS
+    @given(graph_and_excluded())
+    def test_mask_roundtrip(self, data):
+        graph, subset = data
+        index = BitsetIndex.for_graph(graph)
+        mask = index.mask_of(subset)
+        assert index.nodes_of(mask) == frozenset(subset)
+        assert popcount(mask) == len(subset)
+        assert sorted(iter_bits(mask)) == sorted(index.index[n] for n in subset)
+
+    def test_mask_of_strict_and_lenient(self):
+        index = BitsetIndex.for_graph(complete_digraph(3))
+        with pytest.raises(KeyError):
+            index.mask_of({99})
+        assert index.mask_of({99}, ignore_missing=True) == 0
+
+    def test_for_graph_shares_one_instance(self):
+        graph = complete_digraph(4)
+        assert BitsetIndex.for_graph(graph) is BitsetIndex.for_graph(graph)
+
+    def test_for_graph_invalidates_on_mutation(self):
+        graph = directed_cycle(4)
+        before = BitsetIndex.for_graph(graph)
+        assert reach_set(graph, 0, {3}) == frozenset({0})
+        graph.add_edge(1, 0)
+        after = BitsetIndex.for_graph(graph)
+        assert after is not before
+        assert reach_set(graph, 0, {3}) == frozenset({0, 1})
+
+    def test_payload_roundtrip(self):
+        graph = figure_1a()
+        index = BitsetIndex.for_graph(graph)
+        rebuilt = BitsetIndex.from_payload(index.to_payload())
+        assert rebuilt.n == index.n
+        assert rebuilt.reach_masks(0) == index.reach_masks(0)
+        assert rebuilt.source_component_mask(1) == index.source_component_mask(1)
+
+
+# ----------------------------------------------------------------------
+# memo caches
+# ----------------------------------------------------------------------
+class TestCaches:
+    def test_reach_cache_stats_and_clear(self):
+        graph = figure_1a()
+        cache = ReachSetCache(graph)
+        cache.get("v1", {"v2"})
+        cache.get("v1", ["v2"])  # same canonical mask, different iterable type
+        assert cache.stats == {"hits": 1, "misses": 1, "size": 1}
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_source_cache_keyed_on_union_mask(self):
+        graph = figure_1a()
+        cache = SourceComponentCache(graph)
+        first = cache.get({"v1"}, {"v2"})
+        second = cache.get({"v2"}, {"v1"})
+        assert first == second
+        assert cache.stats["hits"] == 1 and cache.stats["misses"] == 1
+
+    def test_bounded_cache_evicts_oldest(self):
+        graph = complete_digraph(5)
+        cache = SourceComponentCache(graph, max_entries=2)
+        cache.get({0})
+        cache.get({1})
+        cache.get({2})  # evicts the {0} entry
+        assert len(cache) == 2
+        cache.get({0})
+        assert cache.stats["misses"] == 4  # the re-query is a miss again
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ValueError):
+            ReachSetCache(complete_digraph(3), max_entries=0)
+
+
+class TestEngineMemoBound:
+    def test_reach_memo_evicts_beyond_limit(self, monkeypatch):
+        graph = complete_digraph(6)
+        index = BitsetIndex.for_graph(graph)
+        monkeypatch.setattr(BitsetIndex, "MEMO_LIMIT", 4)
+        for mask in range(8):
+            index.reach_masks(mask)
+        assert index.memo_sizes()["reach_exclusions"] <= 4
+        # Evicted entries are recomputed correctly on re-query.
+        assert index.nodes_of(index.reach_masks(1)[1]) == reach_set(graph, 1, {0})

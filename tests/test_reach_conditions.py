@@ -176,3 +176,37 @@ class TestMaxTolerableF:
 
     def test_upper_bound_respected(self):
         assert max_tolerable_f(complete_digraph(9), k=1, upper_bound=3) == 3
+
+
+class TestParallelSweep:
+    """The opt-in ``parallel=N`` fan-out must agree with the serial sweep."""
+
+    def test_parallel_three_reach_agrees_on_holding_graph(self, fig1a):
+        serial = check_three_reach(fig1a, 1)
+        parallel = check_three_reach(fig1a, 1, parallel=2)
+        assert parallel.holds is serial.holds is True
+        # All chunks complete when the condition holds → exact check count.
+        assert parallel.checks_performed == serial.checks_performed
+
+    def test_parallel_three_reach_finds_violation(self):
+        graph = directed_cycle(6)
+        serial = check_three_reach(graph, 1)
+        parallel = check_three_reach(graph, 1, parallel=2)
+        assert parallel.holds is serial.holds is False
+        assert parallel.reach_violation is not None
+        # Any reported certificate must be a genuine violation: the two
+        # reach sets are disjoint.
+        violation = parallel.reach_violation
+        assert not (violation.reach_u & violation.reach_v)
+
+    def test_parallel_one_and_k_reach_agree(self):
+        graph = two_cliques_bridged(4, 2, 2)
+        for k in (1, 3, 4):
+            serial = check_k_reach(graph, 1, k)
+            parallel = check_k_reach(graph, 1, k, parallel=3)
+            assert serial.holds == parallel.holds, k
+
+    def test_parallel_one_is_serial(self, fig1a):
+        # parallel=1 (or None) must not spawn workers and equals the default.
+        baseline = check_three_reach(fig1a, 1)
+        assert check_three_reach(fig1a, 1, parallel=1).checks_performed == baseline.checks_performed

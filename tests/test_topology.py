@@ -117,3 +117,41 @@ class TestCostCounters:
 
     def test_repr(self):
         assert "TopologyKnowledge" in repr(TopologyKnowledge(complete_digraph(3), 1))
+
+
+class TestSharedEngineCaches:
+    """The per-run memo caches behind reach / source-component queries."""
+
+    def test_repeated_queries_hit_the_memo(self):
+        topology = TopologyKnowledge(complete_digraph(4), 1)
+        topology.reach(0, frozenset({1}))
+        topology.reach(0, frozenset({1}))
+        topology.source_component({1}, {2})
+        topology.source_component({2}, {1})  # same union → same entry
+        stats = topology.cache_stats()
+        assert stats["reach"] == {"hits": 1, "misses": 1, "size": 1}
+        assert stats["source_components"]["hits"] == 1
+        assert stats["source_components"]["misses"] == 1
+
+    def test_clear_caches_resets_accounting(self):
+        topology = TopologyKnowledge(complete_digraph(4), 1)
+        topology.precompute_all()
+        assert topology.cache_stats()["source_components"]["size"] > 0
+        topology.clear_caches()
+        stats = topology.cache_stats()
+        assert stats["reach"]["size"] == 0
+        assert stats["source_components"]["size"] == 0
+        # The shared per-graph engine memo is deliberately NOT cleared: it may
+        # be warm for other consumers of the same graph and bounds itself.
+        assert stats["shared_engine"]["source_components"] > 0
+        # Queries keep working (and repopulate) after a clear.
+        assert topology.reach(0, frozenset({1})) == reach_set(
+            complete_digraph(4), 0, {1}
+        )
+
+    def test_reach_mask_matches_set_level_query(self):
+        graph = figure_1a()
+        topology = TopologyKnowledge(graph, 1)
+        fault_set = frozenset({"v2"})
+        mask = topology.reach_mask("v1", fault_set)
+        assert topology.engine.nodes_of(mask) == topology.reach("v1", fault_set)
