@@ -16,19 +16,15 @@ from __future__ import annotations
 import pytest
 
 from repro.adversary.adversary import FaultPlan
-from repro.adversary.behaviors import CrashBehavior, EquivocateBehavior, FixedValueBehavior
+from repro.adversary.behaviors import EquivocateBehavior, FixedValueBehavior
 from repro.algorithms.base import ConsensusConfig
 from repro.algorithms.topology import TopologyKnowledge
 from repro.graphs.generators import complete_digraph, figure_1a
-from repro.runner.experiment import (
-    run_bw_experiment,
-    run_clique_experiment,
-    run_crash_experiment,
-    run_iterative_experiment,
-    run_local_average_experiment,
-)
-from repro.runner.harness import spread_inputs
-from repro.runner.reporting import format_table
+from repro.runner.artifacts import write_artifact
+from repro.runner.experiment import run_bw_experiment, run_clique_experiment
+from repro.runner.harness import SweepEngine, spread_inputs
+from repro.runner.reporting import format_table, render_sweep_groups
+from repro.runner.scenarios import get_scenario
 
 CLIQUE = complete_digraph(4)
 CLIQUE_TOPOLOGY = TopologyKnowledge(CLIQUE, 1, "redundant")
@@ -72,44 +68,36 @@ def test_clique_comparison_b1(benchmark, write_result):
 
 
 @pytest.mark.benchmark(group="baselines")
-def test_algorithm_zoo_b2(benchmark, write_result):
-    """B2: every algorithm in the library against the same f=1 adversary."""
+def test_algorithm_zoo_b2(benchmark, write_result, results_dir):
+    """B2: the full ``baselines_zoo`` + ``crash_baseline`` scenario grids."""
+    zoo_spec = get_scenario("baselines_zoo").grid()
+    crash_spec = get_scenario("crash_baseline").grid()
+    engine = SweepEngine(workers=1)
 
-    def run_all():
-        rows = []
-        rows.append(("byzantine-witness", run_bw_experiment(
-            CLIQUE, INPUTS, CONFIG, BYZANTINE_PLAN, seed=2, topology=CLIQUE_TOPOLOGY)))
-        rows.append(("clique-baseline", run_clique_experiment(
-            CLIQUE, INPUTS, CONFIG, BYZANTINE_PLAN, seed=2)))
-        rows.append(("crash-tolerant (crash fault only)", run_crash_experiment(
-            CLIQUE, INPUTS, CONFIG,
-            FaultPlan(frozenset({3}), lambda node: CrashBehavior()), seed=2)))
-        rows.append(("iterative-trimmed-mean", run_iterative_experiment(
-            CLIQUE, INPUTS, CONFIG, rounds=20, faulty_nodes={3},
-            byzantine_value=lambda n, r, k, v: 1e6)))
-        rows.append(("local-average (unprotected)", run_local_average_experiment(
-            CLIQUE, INPUTS, CONFIG, rounds=10, faulty_nodes={3},
-            byzantine_value=lambda n, r, k, v: 1e6)))
-        return rows
+    zoo, crash = benchmark.pedantic(
+        lambda: (engine.run(zoo_spec), engine.run(crash_spec)), rounds=1, iterations=1
+    )
 
-    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
     write_result(
         "baselines_b2_zoo",
-        format_table(
-            ["algorithm", "range", "agree", "valid", "rounds", "messages"],
-            [_outcome_row(label, outcome) for label, outcome in rows],
-        ),
+        render_sweep_groups("baselines_zoo", zoo.groups)
+        + render_sweep_groups("crash_baseline", crash.groups),
     )
-    outcomes = dict(rows)
-    # Expected shape: every fault-tolerant algorithm succeeds, the unprotected
-    # control loses validity, and BW is the most message-hungry by far.
-    assert outcomes["byzantine-witness"].correct
-    assert outcomes["clique-baseline"].correct
-    assert outcomes["crash-tolerant (crash fault only)"].correct
-    assert outcomes["iterative-trimmed-mean"].correct
-    assert not outcomes["local-average (unprotected)"].validity
-    assert outcomes["byzantine-witness"].messages_delivered == max(
-        outcome.messages_delivered for outcome in outcomes.values()
+    write_artifact(results_dir / "baselines_zoo.full.json", zoo, mode="full")
+    write_artifact(results_dir / "crash_baseline.full.json", crash, mode="full")
+
+    by_algorithm = {}
+    for cell in zoo.cells:
+        by_algorithm.setdefault(cell.algorithm, []).append(cell)
+    # Expected shape: every fault-tolerant algorithm succeeds on every seed,
+    # the unprotected control loses validity, the crash baseline rides out
+    # crash faults, and BW is the most message-hungry by far.
+    for algorithm in ("bw", "clique", "iterative"):
+        assert all(cell.success for cell in by_algorithm[algorithm]), algorithm
+    assert all(not cell.metrics["validity"] for cell in by_algorithm["local-average"])
+    assert all(cell.success for cell in crash.cells)
+    assert max(cell.messages for cell in by_algorithm["bw"]) == max(
+        cell.messages for cell in zoo.cells
     )
 
 

@@ -17,7 +17,10 @@ from repro.conditions.reach_conditions import check_three_reach, max_tolerable_f
 from repro.graphs.flow import max_vertex_disjoint_paths
 from repro.graphs.generators import figure_1a, figure_1b
 from repro.graphs.properties import critical_edges_for_connectivity, undirected_vertex_connectivity
-from repro.runner.reporting import format_table
+from repro.runner.artifacts import write_artifact
+from repro.runner.harness import SweepEngine
+from repro.runner.reporting import format_table, render_sweep_groups
+from repro.runner.scenarios import get_scenario
 
 
 @pytest.mark.benchmark(group="figure1")
@@ -67,3 +70,33 @@ def test_figure_1b_claims(benchmark, write_result):
     # ... yet the tight condition for consensus holds at f = 2 and stops at f = 3.
     assert facts["three_reach_f2"] is True
     assert facts["three_reach_f3"] is False
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_consensus_scenarios(benchmark, write_result, results_dir):
+    """The Figure 1 graphs as sweep-engine consensus workloads.
+
+    Figure 1(a): the Byzantine-Witness algorithm defeats every swept
+    behaviour (the graph satisfies 3-reach for f=1).  Figure 1(b): the
+    synchronous baselines — which ignore the paper's machinery — cannot
+    ride out f=2 on the two-clique graph in general, the separation the
+    paper's algorithm exists to close.
+    """
+    engine = SweepEngine(workers=1)
+    spec_a = get_scenario("figure1a").grid()
+    spec_b = get_scenario("figure1b").grid()
+
+    result_a, result_b = benchmark.pedantic(
+        lambda: (engine.run(spec_a), engine.run(spec_b)), rounds=1, iterations=1
+    )
+
+    write_artifact(results_dir / "figure1a.full.json", result_a, mode="full")
+    write_artifact(results_dir / "figure1b.full.json", result_b, mode="full")
+    write_result(
+        "figure1_scenarios",
+        render_sweep_groups("figure1a", result_a.groups)
+        + render_sweep_groups("figure1b", result_b.groups),
+    )
+
+    assert result_a.success_rate == 1.0
+    assert result_b.success_rate < 1.0

@@ -1,0 +1,77 @@
+"""Experiment S2 — sharded sweeps reproduce serial sweeps, and their cost.
+
+Two claims about the orchestration layer itself:
+
+1. **Determinism** — because every cell seeds from ``(scenario, index)``,
+   a run sharded across a ``multiprocessing`` pool produces an artifact
+   payload *identical* to the serial run (the acceptance criterion of the
+   sweep engine).
+2. **Cost** — the measured serial and sharded wall times are recorded to
+   ``benchmarks/results/sweep_speedup.json`` so the parallel overhead /
+   speedup on the build machine is a persisted, machine-readable artefact
+   (on a single-core container the pool can only break even; multi-core CI
+   runners show the speedup).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner.artifacts import artifact_payload
+from repro.runner.harness import GridSpec, SweepEngine, TopologySpec
+from repro.runner.reporting import format_table
+
+#: A BW-heavy probe grid: enough per-cell work for sharding to matter.
+SPEEDUP_SPEC = GridSpec(
+    name="speedup_probe",
+    algorithms=("bw",),
+    topologies=(TopologySpec.make("clique", n=4),),
+    f_values=(1,),
+    behaviors=("crash", "fixed-high", "equivocate", "offset", "tamper-complete"),
+    placements=("random",),
+    seeds=(1, 2, 3, 4),
+    epsilon=0.25,
+    path_policy="redundant",
+)
+
+SHARDED_WORKERS = 2
+
+
+@pytest.mark.benchmark(group="sweep-engine")
+def test_sharded_run_is_byte_identical_and_records_speedup(benchmark, write_result, results_dir):
+    serial = SweepEngine(workers=1).run(SPEEDUP_SPEC)
+    sharded = benchmark.pedantic(
+        lambda: SweepEngine(workers=SHARDED_WORKERS).run(SPEEDUP_SPEC), rounds=1, iterations=1
+    )
+
+    # Claim 1: identical payloads — order, seeds, outcomes, aggregates.
+    assert artifact_payload(serial, mode="full") == artifact_payload(sharded, mode="full")
+
+    # Claim 2: persist the measured orchestration cost.
+    record = {
+        "scenario": SPEEDUP_SPEC.name,
+        "cells": len(serial.cells),
+        "serial_seconds": round(serial.wall_seconds, 4),
+        "sharded_seconds": round(sharded.wall_seconds, 4),
+        "sharded_workers": SHARDED_WORKERS,
+        "speedup": round(serial.wall_seconds / sharded.wall_seconds, 3)
+        if sharded.wall_seconds
+        else None,
+        "cells_per_second_serial": round(len(serial.cells) / serial.wall_seconds, 1)
+        if serial.wall_seconds
+        else None,
+    }
+    (results_dir / "sweep_speedup.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    write_result(
+        "sweep_speedup",
+        format_table(
+            ["cells", "serial s", f"sharded s (x{SHARDED_WORKERS})", "speedup"],
+            [[record["cells"], record["serial_seconds"], record["sharded_seconds"],
+              record["speedup"]]],
+        ),
+    )
+    assert all(cell.success for cell in serial.cells)

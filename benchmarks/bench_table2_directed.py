@@ -3,65 +3,65 @@
 Table 2 assigns one tight condition to each (fault model × timing model)
 cell; the paper's contribution is the bottom-right cell (Byzantine /
 asynchronous = 3-reach, matching the synchronous Byzantine cell).  The
-benchmark evaluates every cell's condition on directed families and verifies
-the Theorem 17 equivalences (1-reach⇔CCS, 2-reach⇔CCA, 3-reach⇔BCS) on every
-graph; results land in ``benchmarks/results/table2.txt``.
+``table2`` scenario evaluates every cell's condition on directed families
+and verifies the Theorem 17 equivalences (1-reach⇔CCS, 2-reach⇔CCA,
+3-reach⇔BCS) on every graph; this benchmark runs it through the sweep
+engine and writes ``table2.txt`` plus the canonical JSON artifact.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.analysis.feasibility import equivalences_hold
-from repro.analysis.tables import render_table2, table2_rows
-from repro.graphs.generators import (
-    clique_with_feeders,
-    complete_digraph,
-    directed_cycle,
-    figure_1a,
-    layered_relay_digraph,
-    random_digraph,
-    two_cliques_bridged,
+from repro.runner.artifacts import write_artifact
+from repro.runner.harness import SweepEngine
+from repro.runner.reporting import format_check, format_table
+from repro.runner.scenarios import get_scenario
+
+TABLE2_HEADERS = (
+    "graph", "n", "f",
+    "crash/sync (1-reach)", "crash/async (2-reach)",
+    "byz/sync (3-reach)", "byz/async (3-reach, this paper)",
+    "CCS", "CCA", "BCS", "Thm17 agrees",
 )
-
-FAMILIES = [
-    complete_digraph(4),
-    complete_digraph(7),
-    directed_cycle(6),
-    figure_1a(),
-    clique_with_feeders(4, 2),
-    layered_relay_digraph(3, 2),
-    two_cliques_bridged(4, 3, 3),
-    random_digraph(7, 0.4, seed=3, ensure_connected=True),
-    random_digraph(7, 0.25, seed=4, ensure_connected=True),
-]
-FAULT_BOUNDS = (1, 2)
-
-
-def _build_rows():
-    return table2_rows(FAMILIES, FAULT_BOUNDS)
 
 
 @pytest.mark.benchmark(group="table2")
-def test_table2_regeneration(benchmark, write_result):
-    rows = benchmark.pedantic(_build_rows, rounds=1, iterations=1)
-    text = render_table2(rows)
-    write_result("table2", text)
+def test_table2_regeneration(benchmark, write_result, results_dir):
+    spec = get_scenario("table2").grid()
+    engine = SweepEngine(workers=1)
+
+    result = benchmark.pedantic(lambda: engine.run(spec), rounds=1, iterations=1)
+    write_artifact(results_dir / "table2.full.json", result, mode="full")
+
+    rows = [
+        [cell.topology, cell.n, cell.f,
+         format_check(cell.metrics["crash_sync"]),
+         format_check(cell.metrics["crash_async"]),
+         format_check(cell.metrics["byz_sync"]),
+         format_check(cell.metrics["byz_async"]),
+         format_check(cell.metrics["ccs"]),
+         format_check(cell.metrics["cca"]),
+         format_check(cell.metrics["bcs"]),
+         format_check(cell.success)]
+        for cell in result.cells
+    ]
+    write_result("table2", format_table(TABLE2_HEADERS, rows))
 
     # Theorem 17: the reach formulation agrees with the partition formulation
     # on every graph and fault bound swept.
-    assert all(equivalences_hold(row) for row in rows)
+    assert all(cell.success for cell in result.cells)
 
-    by_name = {(row.graph_name, row.f): row for row in rows}
+    by_name = {(cell.topology, cell.f): cell for cell in result.cells}
     # The paper's new cell: Byzantine/asynchronous feasibility equals the
     # synchronous Byzantine verdict (both are 3-reach).
-    for row in rows:
-        assert row.verdict("byz/async") == row.verdict("byz/sync")
+    for cell in result.cells:
+        assert cell.metrics["byz_async"] == cell.metrics["byz_sync"]
     # Expected shapes: the 7-clique tolerates f=2, the 4-clique only f=1;
     # directed cycles only support the crash/synchronous cell; Figure 1(a)
     # supports everything for f=1.
-    assert by_name[("clique-7", 2)].verdict("byz/async")
-    assert not by_name[("clique-4", 2)].verdict("byz/async")
-    assert by_name[("cycle-6", 1)].verdict("crash/sync")
-    assert not by_name[("cycle-6", 1)].verdict("crash/async")
-    assert by_name[("figure-1a", 1)].verdict("byz/async")
+    assert by_name[("clique(n=7)", 2)].metrics["byz_async"]
+    assert not by_name[("clique(n=4)", 2)].metrics["byz_async"]
+    assert by_name[("directed-cycle(n=6)", 1)].metrics["crash_sync"]
+    assert not by_name[("directed-cycle(n=6)", 1)].metrics["crash_async"]
+    assert by_name[("figure-1a", 1)].metrics["byz_async"]

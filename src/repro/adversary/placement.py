@@ -9,7 +9,7 @@ defined here; all of them respect the fault bound ``f``.
 from __future__ import annotations
 
 import random
-from typing import FrozenSet, Hashable, Iterable, List, Optional, Sequence
+from typing import FrozenSet, Hashable, Iterable, List, Optional
 
 from repro.exceptions import AdversaryError
 from repro.graphs.digraph import DiGraph

@@ -11,7 +11,7 @@ and the experiment harness all terminate consistently.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.exceptions import ProtocolError

@@ -25,7 +25,7 @@ is the one that works on arbitrary 3-reach digraphs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Optional, Set, Tuple
+from typing import Any, Dict, Hashable, Tuple
 
 from repro.algorithms.base import ConsensusConfig
 from repro.algorithms.messages import EchoMessage, RoundValueMessage

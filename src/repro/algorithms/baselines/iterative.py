@@ -22,7 +22,7 @@ yet lack the robustness the trimmed mean needs.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional
+from typing import Hashable, Iterable, Mapping, Optional
 
 from repro.algorithms.baselines.synchronous import (
     SynchronousTrace,

@@ -21,7 +21,7 @@ the trimmed vector is never empty for a correctly configured run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, List, Optional, Tuple
+from typing import Hashable, List, Tuple
 
 from repro.algorithms.messagesets import MessageSet
 from repro.exceptions import ProtocolError

@@ -21,7 +21,7 @@ inside an event handler.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
 NodeId = Hashable
 Path = Tuple[NodeId, ...]

@@ -12,13 +12,13 @@ conditions against the partition conditions (Theorem 17).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.conditions.certificates import FeasibilityRow
 from repro.conditions.partition_conditions import check_bcs, check_cca, check_ccs
 from repro.conditions.reach_conditions import check_one_reach, check_three_reach, check_two_reach
 from repro.graphs.digraph import DiGraph
-from repro.graphs.properties import undirected_feasibility, undirected_vertex_connectivity
+from repro.graphs.properties import undirected_feasibility
 
 
 @dataclass(frozen=True)

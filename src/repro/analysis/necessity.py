@@ -30,7 +30,7 @@ This module makes the construction concrete:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Optional, Set, Tuple
 
 from repro.conditions.certificates import ReachViolation
 from repro.conditions.reach_conditions import check_three_reach

@@ -16,7 +16,7 @@ functions are also directly usable from the examples.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence
 
 from repro.analysis.feasibility import (
     UndirectedComparison,

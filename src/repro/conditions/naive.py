@@ -18,7 +18,7 @@ the fully engine-independent oracle remains ``networkx`` in the test-suite.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional, Tuple
+from typing import FrozenSet
 
 from repro.conditions.certificates import ConditionReport, ReachViolation
 from repro.conditions.reach_conditions import iter_subsets

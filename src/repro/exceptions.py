@@ -72,3 +72,7 @@ class AdversaryError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment runner for invalid experiment configs."""
+
+
+class ArtifactError(ExperimentError):
+    """Raised when a sweep artifact is missing, malformed or incompatible."""

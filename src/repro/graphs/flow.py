@@ -16,7 +16,7 @@ this reproduction consider.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.exceptions import GraphError
 from repro.graphs.digraph import DiGraph, Node

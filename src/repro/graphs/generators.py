@@ -13,7 +13,7 @@ integer or string node labels and a descriptive ``name``.
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.exceptions import GraphError
 from repro.graphs.digraph import DiGraph, Node

@@ -10,9 +10,9 @@ the analysis layer and the benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.graphs.digraph import DiGraph, Node
+from repro.graphs.digraph import DiGraph
 from repro.graphs.flow import vertex_connectivity
 
 

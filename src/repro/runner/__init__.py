@@ -1,5 +1,55 @@
-"""Experiment runner: drivers, metrics, sweeps and plain-text reporting."""
+"""Experiment runner: drivers, sweep orchestration, artifacts and reporting.
 
+The runner is layered like a small pipeline::
+
+    GridSpec ──expand──> SweepCell* ──run_cell──> CellResult* ──fold──> GroupAggregate*
+        │                                                                   │
+        └── scenarios.py (named grids)              artifacts.py (JSON) <───┘
+
+**Grid-spec format.**  A :class:`~repro.runner.harness.GridSpec` declares a
+sweep as the cross product of six axes plus shared execution parameters:
+
+``name``
+    Scenario name; together with each cell's index it derives the cell's RNG
+    seed (:func:`~repro.runner.harness.derive_cell_seed`), making results
+    independent of execution order, sharding and worker count.
+``algorithms``
+    Names resolved by :mod:`repro.runner.scenarios`: consensus drivers
+    (``"bw"``, ``"clique"``, ``"crash"``, ``"iterative"``,
+    ``"local-average"``) or condition checks (``"check-reach"``,
+    ``"check-table1"``, ``"check-table2"``, ``"check-necessity"``).
+``topologies``
+    :class:`~repro.runner.harness.TopologySpec` entries — a graph-family
+    name plus construction parameters, e.g.
+    ``TopologySpec.make("clique", n=4)`` or
+    ``TopologySpec.make("two-cliques", clique_size=5, forward_bridges=2,
+    backward_bridges=2)``.  Workers rebuild graphs locally from the spec.
+``f_values`` / ``behaviors`` / ``placements`` / ``seeds``
+    Fault bounds, Byzantine behaviour names (see
+    ``scenarios.BEHAVIOR_FACTORIES``), fault-placement strategies
+    (``"random"``, ``"max-out-degree"``, ``"max-in-degree"``, ``"bridges"``,
+    ``"last"``, ``"none"``) and the user-facing seed axis.
+``epsilon`` / ``input_low`` / ``input_high`` / ``inputs`` / ``path_policy`` / ``rounds``
+    Shared execution parameters: the agreement parameter, the known input
+    range, the input generator (``"spread"`` or ``"random"``), the BW
+    flooding policy and the round budget for synchronous baselines.
+
+Run a grid with :class:`~repro.runner.harness.SweepEngine` (``workers > 1``
+shards cells across a ``multiprocessing`` pool in chunked batches), write
+the result with :func:`~repro.runner.artifacts.write_artifact`, and gate a
+regenerated artifact against a committed baseline with
+:func:`~repro.runner.artifacts.compare`.  The ``python -m repro.runner``
+CLI (:mod:`repro.runner.cli`) wraps exactly that pipeline.
+"""
+
+from repro.runner.artifacts import (
+    ComparisonReport,
+    artifact_payload,
+    compare,
+    compare_files,
+    load_artifact,
+    write_artifact,
+)
 from repro.runner.experiment import (
     DEFAULT_MAX_EVENTS,
     run_bw_experiment,
@@ -8,7 +58,22 @@ from repro.runner.experiment import (
     run_iterative_experiment,
     run_local_average_experiment,
 )
-from repro.runner.harness import SweepResult, random_inputs, spread_inputs, sweep_behaviors
+from repro.runner.harness import (
+    CellResult,
+    GridSpec,
+    GroupAggregate,
+    SweepCell,
+    SweepEngine,
+    SweepResult,
+    SweepRunResult,
+    TopologySpec,
+    aggregate_cells,
+    derive_cell_seed,
+    random_inputs,
+    run_grid,
+    spread_inputs,
+    sweep_behaviors,
+)
 from repro.runner.metrics import (
     ConsensusOutcome,
     aggregate_success_rate,
@@ -16,7 +81,15 @@ from repro.runner.metrics import (
     per_round_ranges,
     rounds_until,
 )
-from repro.runner.reporting import banner, format_check, format_table, print_table
+from repro.runner.reporting import (
+    banner,
+    format_check,
+    format_table,
+    print_table,
+    render_sweep_groups,
+    sweep_group_rows,
+)
+from repro.runner.scenarios import SCENARIOS, Scenario, get_scenario, run_cell, scenario_names
 
 __all__ = [
     "DEFAULT_MAX_EVENTS",
@@ -25,10 +98,31 @@ __all__ = [
     "run_crash_experiment",
     "run_iterative_experiment",
     "run_local_average_experiment",
+    "CellResult",
+    "GridSpec",
+    "GroupAggregate",
+    "SweepCell",
+    "SweepEngine",
     "SweepResult",
+    "SweepRunResult",
+    "TopologySpec",
+    "aggregate_cells",
+    "derive_cell_seed",
     "random_inputs",
+    "run_grid",
     "spread_inputs",
     "sweep_behaviors",
+    "ComparisonReport",
+    "artifact_payload",
+    "compare",
+    "compare_files",
+    "load_artifact",
+    "write_artifact",
+    "SCENARIOS",
+    "Scenario",
+    "get_scenario",
+    "run_cell",
+    "scenario_names",
     "ConsensusOutcome",
     "aggregate_success_rate",
     "geometric_bound_satisfied",
@@ -38,4 +132,6 @@ __all__ = [
     "format_check",
     "format_table",
     "print_table",
+    "render_sweep_groups",
+    "sweep_group_rows",
 ]

@@ -1,0 +1,187 @@
+"""``python -m repro.runner`` — the sweep orchestration command line.
+
+Three subcommands drive the whole experiment surface:
+
+``list``
+    Show every registered scenario with its grid sizes and paper artefact.
+``run``
+    Expand a named scenario's grid, execute it (optionally sharded across
+    worker processes), print the aggregate table and write the canonical
+    JSON artifact.  ``--quick`` selects the CI-sized grid.
+``compare``
+    Diff a freshly generated artifact against a stored baseline and exit
+    nonzero on drift — the regression gate CI builds on.
+
+Examples
+--------
+::
+
+    python -m repro.runner list
+    python -m repro.runner run --scenario figure1b --workers 4 --quick
+    python -m repro.runner compare benchmarks/baselines/figure1b.quick.json \\
+        benchmarks/results/figure1b.quick.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ReproError
+from repro.runner.artifacts import compare_files, write_artifact
+from repro.runner.harness import SweepEngine
+from repro.runner.reporting import format_table, render_sweep_groups
+from repro.runner.scenarios import SCENARIOS, get_scenario
+
+#: Default artifact directory (relative to the invocation directory).
+DEFAULT_OUTPUT_DIR = pathlib.Path("benchmarks") / "results"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Sharded sweep orchestration over the paper's experiment grids.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list registered scenarios and their grid sizes")
+
+    run_parser = commands.add_parser("run", help="run a scenario and write its JSON artifact")
+    run_parser.add_argument(
+        "--scenario",
+        action="append",
+        required=True,
+        metavar="NAME",
+        help="scenario to run (repeatable; see 'list')",
+    )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sharded execution (default: 1, serial)",
+    )
+    run_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cells per pool task (default: balanced automatically)",
+    )
+    run_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the reduced CI grid instead of the full grid",
+    )
+    run_parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="artifact path (single scenario) or directory (default: benchmarks/results/)",
+    )
+    run_parser.add_argument(
+        "--no-table", action="store_true", help="suppress the aggregate table on stdout"
+    )
+
+    compare_parser = commands.add_parser(
+        "compare", help="diff an artifact against a baseline; exit 1 on drift"
+    )
+    compare_parser.add_argument("baseline", type=pathlib.Path, help="baseline artifact (JSON)")
+    compare_parser.add_argument("current", type=pathlib.Path, help="current artifact (JSON)")
+    compare_parser.add_argument(
+        "--tol-success",
+        type=float,
+        default=0.0,
+        metavar="X",
+        help="tolerated absolute success-rate drift per group (default: 0)",
+    )
+    compare_parser.add_argument(
+        "--tol-rounds",
+        type=float,
+        default=0.0,
+        metavar="X",
+        help="tolerated absolute mean-round drift per group (default: 0)",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = []
+    for scenario in SCENARIOS.values():
+        rows.append(
+            [
+                scenario.name,
+                scenario.spec.num_cells,
+                scenario.quick.num_cells,
+                scenario.description,
+            ]
+        )
+    print(format_table(["scenario", "cells", "quick cells", "description"], rows))
+    return 0
+
+
+def _artifact_path(
+    output: Optional[pathlib.Path], names: Sequence[str], name: str, mode: str
+) -> pathlib.Path:
+    filename = f"{name}.{mode}.json"
+    if output is None:
+        return DEFAULT_OUTPUT_DIR / filename
+    if len(names) == 1 and output.suffix == ".json":
+        return output
+    return output / filename
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    engine = SweepEngine(workers=args.workers, chunk_size=args.chunk_size)
+    mode = "quick" if args.quick else "full"
+    names: List[str] = []
+    for entry in args.scenario:
+        names.extend(part for part in entry.split(",") if part)
+    for name in names:
+        scenario = get_scenario(name)
+        spec = scenario.grid(quick=args.quick)
+        result = engine.run(spec)
+        path = _artifact_path(args.output, names, name, mode)
+        write_artifact(path, result, mode=mode)
+        if not args.no_table:
+            print(render_sweep_groups(f"{name} ({mode} grid)", result.groups))
+        rate = len(result.cells) / result.wall_seconds if result.wall_seconds else float("inf")
+        print(
+            f"{name}: {len(result.cells)} cells in {result.wall_seconds:.2f}s "
+            f"({rate:.1f} cells/s, workers={result.workers}) -> {path}"
+        )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    report = compare_files(
+        args.baseline,
+        args.current,
+        tol_success=args.tol_success,
+        tol_rounds=args.tol_rounds,
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+__all__ = ["main"]

@@ -9,7 +9,7 @@ uniform across algorithms.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Mapping, Optional
+from typing import Hashable, Mapping, Optional
 
 from repro.adversary.adversary import FaultPlan, no_faults
 from repro.algorithms.base import ConsensusConfig

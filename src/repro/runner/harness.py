@@ -1,26 +1,73 @@
-"""Sweep harness: run an experiment grid and aggregate the outcomes.
+"""Sweep orchestration: expand a declarative grid, shard it, aggregate outcomes.
 
-The benchmarks sweep over seeds, Byzantine behaviours and fault placements.
-This module centralizes that bookkeeping so every benchmark produces the same
-kind of aggregate rows (success rate, worst range, mean messages, ...).
+The paper's tables and figures are all produced by sweeping consensus
+executions (or condition checks) over grids of topologies, fault bounds,
+Byzantine behaviours, fault placements and seeds.  This module provides the
+machinery that turns a declarative :class:`GridSpec` into concrete
+:class:`SweepCell`\\ s, runs every cell — serially or sharded across a
+``multiprocessing`` pool — and folds the per-cell results into deterministic
+aggregates.
+
+Determinism is the load-bearing property: every cell derives its RNG seed
+from ``(scenario name, cell index)`` via :func:`derive_cell_seed`, so results
+are independent of execution order, shard assignment and worker count.  A
+serial run and a 4-worker run of the same grid produce byte-identical
+artifacts (see :mod:`repro.runner.artifacts`).
+
+The cell-execution function itself lives in :mod:`repro.runner.scenarios`
+(which owns the topology / behaviour / algorithm registries); the engine here
+is generic over any picklable ``runner(spec, cell) -> CellResult`` callable.
 """
 
 from __future__ import annotations
 
+import functools
+import hashlib
+import math
+import multiprocessing
 import random
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.adversary.adversary import FaultPlan
 from repro.adversary.behaviors import STANDARD_BEHAVIOR_FACTORIES
 from repro.adversary.placement import place_random
-from repro.algorithms.base import ConsensusConfig
 from repro.graphs.digraph import DiGraph
 from repro.runner.metrics import ConsensusOutcome, aggregate_success_rate
 
 NodeId = Hashable
 
+#: Result of running one cell; implemented by ``repro.runner.scenarios.run_cell``.
+CellRunner = Callable[["GridSpec", "SweepCell"], "CellResult"]
 
+
+# ----------------------------------------------------------------------
+# deterministic per-cell seeding
+# ----------------------------------------------------------------------
+def derive_cell_seed(scenario: str, index: int) -> int:
+    """Stable 63-bit seed derived from ``(scenario, cell index)``.
+
+    Uses SHA-256 rather than :func:`hash` so the value is identical across
+    processes, platforms and ``PYTHONHASHSEED`` settings — the property that
+    makes sharded sweeps reproduce serial sweeps exactly.
+    """
+    digest = hashlib.sha256(f"{scenario}:{index}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+# ----------------------------------------------------------------------
+# input generators (unchanged public helpers)
+# ----------------------------------------------------------------------
 def random_inputs(
     graph: DiGraph, low: float, high: float, seed: Optional[int] = None
 ) -> Dict[NodeId, float]:
@@ -38,6 +85,420 @@ def spread_inputs(graph: DiGraph, low: float, high: float) -> Dict[NodeId, float
     return {node: low + index * step for index, node in enumerate(nodes)}
 
 
+# ----------------------------------------------------------------------
+# grid specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TopologySpec:
+    """A named graph family plus its construction parameters.
+
+    Cells carry the *spec* rather than the built :class:`DiGraph` so workers
+    rebuild graphs locally instead of unpickling them, and so artifacts can
+    record the exact construction recipe.
+    """
+
+    family: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, family: str, **params: object) -> "TopologySpec":
+        return cls(family=family, params=tuple(sorted(params.items())))
+
+    @property
+    def label(self) -> str:
+        if not self.params:
+            return self.family
+        inner = ",".join(f"{key}={value}" for key, value in self.params)
+        return f"{self.family}({inner})"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"family": self.family, "params": {key: value for key, value in self.params}}
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Declarative sweep grid: the cross product of every axis below.
+
+    Expansion order is fixed (algorithm × topology × f × behaviour ×
+    placement × seed, innermost last) so cell indexes — and therefore the
+    per-cell derived seeds — are stable for a given spec.
+    """
+
+    name: str
+    algorithms: Tuple[str, ...]
+    topologies: Tuple[TopologySpec, ...]
+    f_values: Tuple[int, ...] = (1,)
+    behaviors: Tuple[str, ...] = ("honest",)
+    placements: Tuple[str, ...] = ("random",)
+    seeds: Tuple[int, ...] = (1,)
+    epsilon: float = 0.25
+    input_low: float = 0.0
+    input_high: float = 1.0
+    inputs: str = "spread"
+    path_policy: str = "simple"
+    rounds: int = 15
+
+    def expand(self) -> List["SweepCell"]:
+        """Materialize every cell of the grid, with derived seeds attached."""
+        cells: List[SweepCell] = []
+        index = 0
+        for algorithm in self.algorithms:
+            for topology in self.topologies:
+                for f in self.f_values:
+                    for behavior in self.behaviors:
+                        for placement in self.placements:
+                            for seed in self.seeds:
+                                cells.append(
+                                    SweepCell(
+                                        index=index,
+                                        algorithm=algorithm,
+                                        topology=topology,
+                                        f=f,
+                                        behavior=behavior,
+                                        placement=placement,
+                                        seed=seed,
+                                        derived_seed=derive_cell_seed(self.name, index),
+                                    )
+                                )
+                                index += 1
+        return cells
+
+    @property
+    def num_cells(self) -> int:
+        return (
+            len(self.algorithms)
+            * len(self.topologies)
+            * len(self.f_values)
+            * len(self.behaviors)
+            * len(self.placements)
+            * len(self.seeds)
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "algorithms": list(self.algorithms),
+            "topologies": [topology.as_dict() for topology in self.topologies],
+            "f_values": list(self.f_values),
+            "behaviors": list(self.behaviors),
+            "placements": list(self.placements),
+            "seeds": list(self.seeds),
+            "epsilon": self.epsilon,
+            "input_low": self.input_low,
+            "input_high": self.input_high,
+            "inputs": self.inputs,
+            "path_policy": self.path_policy,
+            "rounds": self.rounds,
+        }
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One concrete point of a grid, with its order-independent seed."""
+
+    index: int
+    algorithm: str
+    topology: TopologySpec
+    f: int
+    behavior: str
+    placement: str
+    seed: int
+    derived_seed: int
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.algorithm}|{self.topology.label}|f={self.f}"
+            f"|{self.behavior}|{self.placement}|s={self.seed}"
+        )
+
+
+# ----------------------------------------------------------------------
+# per-cell result + aggregation
+# ----------------------------------------------------------------------
+@dataclass
+class CellResult:
+    """Normalized, JSON-serializable outcome of one cell.
+
+    ``output_range`` is ``None`` when some honest node never decided (the
+    in-memory :class:`~repro.runner.metrics.ConsensusOutcome` uses ``inf``,
+    which JSON cannot represent).  Condition-check cells report zero rounds
+    and messages and put their facts into ``metrics``.
+    """
+
+    index: int
+    algorithm: str
+    topology: str
+    n: int
+    f: int
+    behavior: str
+    placement: str
+    seed: int
+    derived_seed: int
+    success: bool
+    output_range: Optional[float] = None
+    rounds: int = 0
+    messages: int = 0
+    simulated_time: float = 0.0
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_outcome(
+        cls, cell: SweepCell, graph: DiGraph, outcome: ConsensusOutcome
+    ) -> "CellResult":
+        observed = outcome.output_range
+        return cls(
+            index=cell.index,
+            algorithm=cell.algorithm,
+            topology=cell.topology.label,
+            n=graph.num_nodes,
+            f=cell.f,
+            behavior=cell.behavior,
+            placement=cell.placement,
+            seed=cell.seed,
+            derived_seed=cell.derived_seed,
+            success=outcome.correct,
+            output_range=None if observed == float("inf") else observed,
+            rounds=outcome.rounds,
+            messages=outcome.messages_delivered,
+            simulated_time=outcome.simulated_time,
+            metrics={
+                "epsilon_agreement": outcome.epsilon_agreement,
+                "validity": outcome.validity,
+                "termination": outcome.termination,
+            },
+        )
+
+    @property
+    def group_key(self) -> Tuple[str, str, int, str, str]:
+        """Aggregation key: every axis except the seed."""
+        return (self.algorithm, self.topology, self.f, self.behavior, self.placement)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "algorithm": self.algorithm,
+            "topology": self.topology,
+            "n": self.n,
+            "f": self.f,
+            "behavior": self.behavior,
+            "placement": self.placement,
+            "seed": self.seed,
+            "derived_seed": self.derived_seed,
+            "success": self.success,
+            "output_range": self.output_range,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "simulated_time": self.simulated_time,
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "CellResult":
+        return cls(
+            index=int(payload["index"]),
+            algorithm=str(payload["algorithm"]),
+            topology=str(payload["topology"]),
+            n=int(payload["n"]),
+            f=int(payload["f"]),
+            behavior=str(payload["behavior"]),
+            placement=str(payload["placement"]),
+            seed=int(payload["seed"]),
+            derived_seed=int(payload["derived_seed"]),
+            success=bool(payload["success"]),
+            output_range=payload.get("output_range"),  # type: ignore[arg-type]
+            rounds=int(payload.get("rounds", 0)),
+            messages=int(payload.get("messages", 0)),
+            simulated_time=float(payload.get("simulated_time", 0.0)),
+            metrics=dict(payload.get("metrics", {})),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class GroupAggregate:
+    """Incremental aggregate of every cell sharing one group key."""
+
+    algorithm: str
+    topology: str
+    f: int
+    behavior: str
+    placement: str
+    runs: int = 0
+    successes: int = 0
+    total_rounds: int = 0
+    total_messages: int = 0
+    worst_range: float = 0.0
+    undecided: int = 0
+
+    def fold(self, result: CellResult) -> None:
+        self.runs += 1
+        self.successes += 1 if result.success else 0
+        self.total_rounds += result.rounds
+        self.total_messages += result.messages
+        if result.output_range is None:
+            self.undecided += 1
+        else:
+            self.worst_range = max(self.worst_range, result.output_range)
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.runs if self.runs else 0.0
+
+    @property
+    def mean_rounds(self) -> float:
+        return self.total_rounds / self.runs if self.runs else 0.0
+
+    @property
+    def mean_messages(self) -> float:
+        return self.total_messages / self.runs if self.runs else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "topology": self.topology,
+            "f": self.f,
+            "behavior": self.behavior,
+            "placement": self.placement,
+            "runs": self.runs,
+            "successes": self.successes,
+            "success_rate": self.success_rate,
+            "mean_rounds": self.mean_rounds,
+            "mean_messages": self.mean_messages,
+            "worst_range": None if self.undecided else self.worst_range,
+        }
+
+
+def _fold_into(
+    groups: Dict[Tuple[str, str, int, str, str], GroupAggregate], result: CellResult
+) -> None:
+    """Fold one cell into the group map (creating its group on first sight)."""
+    key = result.group_key
+    if key not in groups:
+        groups[key] = GroupAggregate(
+            algorithm=result.algorithm,
+            topology=result.topology,
+            f=result.f,
+            behavior=result.behavior,
+            placement=result.placement,
+        )
+    groups[key].fold(result)
+
+
+def aggregate_cells(cells: Sequence[CellResult]) -> List[GroupAggregate]:
+    """Fold cell results into per-group aggregates, ordered by first occurrence."""
+    groups: Dict[Tuple[str, str, int, str, str], GroupAggregate] = {}
+    for result in cells:
+        _fold_into(groups, result)
+    return list(groups.values())
+
+
+@dataclass
+class SweepRunResult:
+    """Everything a sweep produced: cells in index order plus aggregates.
+
+    ``wall_seconds`` and ``workers`` are observational — they are *not*
+    serialized into artifacts, so serial and sharded runs stay byte-identical.
+    """
+
+    spec: GridSpec
+    cells: List[CellResult]
+    groups: List[GroupAggregate]
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def success_rate(self) -> float:
+        if not self.cells:
+            return 0.0
+        return sum(1 for cell in self.cells if cell.success) / len(self.cells)
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+def _default_runner() -> CellRunner:
+    from repro.runner.scenarios import run_cell
+
+    return run_cell
+
+
+class SweepEngine:
+    """Expand a :class:`GridSpec` and execute it, optionally sharded.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``1`` (the default) runs in-process;
+        larger values shard cells across a ``multiprocessing`` pool in
+        chunked batches.  Results are identical either way.
+    chunk_size:
+        Cells per pool task.  Defaults to ``ceil(cells / (workers * 4))`` so
+        each worker receives a handful of batches (amortizing IPC overhead
+        while keeping the shards balanced).
+    """
+
+    def __init__(self, workers: int = 1, chunk_size: Optional[int] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.workers = workers
+        self.chunk_size = chunk_size
+
+    def expand(self, spec: GridSpec) -> List[SweepCell]:
+        """Expansion is delegated to the spec; exposed here for symmetry."""
+        return spec.expand()
+
+    def run(self, spec: GridSpec, runner: Optional[CellRunner] = None) -> SweepRunResult:
+        """Execute every cell of ``spec`` and aggregate incrementally.
+
+        ``runner`` must be a picklable module-level callable when
+        ``workers > 1``; it defaults to the scenario registry's
+        :func:`~repro.runner.scenarios.run_cell`.
+        """
+        runner = runner or _default_runner()
+        cells = spec.expand()
+        start = time.perf_counter()
+        results: List[CellResult] = []
+        groups: Dict[Tuple[str, str, int, str, str], GroupAggregate] = {}
+
+        def fold(result: CellResult) -> None:
+            results.append(result)
+            _fold_into(groups, result)
+
+        if self.workers == 1 or len(cells) <= 1:
+            for cell in cells:
+                fold(runner(spec, cell))
+        else:
+            chunk = self.chunk_size or max(1, math.ceil(len(cells) / (self.workers * 4)))
+            with multiprocessing.Pool(processes=self.workers) as pool:
+                # ``imap`` (not ``imap_unordered``) keeps index order, which
+                # makes the incremental aggregation order-deterministic.
+                for result in pool.imap(functools.partial(runner, spec), cells, chunksize=chunk):
+                    fold(result)
+        wall = time.perf_counter() - start
+        return SweepRunResult(
+            spec=spec,
+            cells=results,
+            groups=list(groups.values()),
+            workers=self.workers,
+            wall_seconds=wall,
+        )
+
+
+def run_grid(
+    spec: GridSpec,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    runner: Optional[CellRunner] = None,
+) -> SweepRunResult:
+    """One-call convenience wrapper around :class:`SweepEngine`."""
+    return SweepEngine(workers=workers, chunk_size=chunk_size).run(spec, runner=runner)
+
+
+# ----------------------------------------------------------------------
+# legacy behaviour sweep (kept for ad-hoc drivers and the examples)
+# ----------------------------------------------------------------------
 @dataclass
 class SweepResult:
     """Aggregate of a family of outcomes sharing one experimental cell."""
@@ -96,19 +557,42 @@ def sweep_behaviors(
     seeds: Sequence[int] = (1, 2, 3),
     placement_seed: int = 7,
 ) -> List[SweepResult]:
-    """Run ``run_one`` for every behaviour × seed combination.
+    """Run ``run_one`` for every behaviour × seed combination (serially).
 
-    ``run_one(fault_plan, seed, behavior_name)`` must return an outcome; the
-    fault placement is random-but-seeded so every behaviour faces the same
-    faulty set per seed.
+    ``run_one(fault_plan, seed, behavior_name)`` must return an outcome.  The
+    fault placement is seeded per cell from ``(placement_seed, seed)`` via
+    :func:`derive_cell_seed` — *not* from any global RNG state — so every
+    behaviour faces the same faulty set per seed and reordering or
+    subsetting the behaviour axis never changes any cell's result.
     """
     behaviors = dict(behaviors or STANDARD_BEHAVIOR_FACTORIES)
     results: List[SweepResult] = []
     for behavior_name, factory in behaviors.items():
         cell = SweepResult(label=behavior_name)
         for seed in seeds:
-            faulty = place_random(graph, f, seed=placement_seed + seed)
+            faulty = place_random(
+                graph, f, seed=derive_cell_seed(f"placement:{placement_seed}", seed)
+            )
             plan = FaultPlan(faulty, lambda node, factory=factory: factory(), seed=seed)
             cell.outcomes.append(run_one(plan, seed, behavior_name))
         results.append(cell)
     return results
+
+
+__all__ = [
+    "CellResult",
+    "CellRunner",
+    "GridSpec",
+    "GroupAggregate",
+    "SweepCell",
+    "SweepEngine",
+    "SweepResult",
+    "SweepRunResult",
+    "TopologySpec",
+    "aggregate_cells",
+    "derive_cell_seed",
+    "random_inputs",
+    "run_grid",
+    "spread_inputs",
+    "sweep_behaviors",
+]

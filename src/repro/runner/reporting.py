@@ -3,12 +3,16 @@
 The benchmarks regenerate the paper's tables as aligned ASCII tables printed
 to stdout (and captured into ``bench_output.txt``); no plotting dependencies
 are required.  The helpers here keep the formatting consistent across all
-benchmarks and examples.
+benchmarks, the sweep CLI and the examples.  Machine-readable output is the
+job of :mod:`repro.runner.artifacts`; everything here is for humans.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.runner.harness import GroupAggregate
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
@@ -49,3 +53,47 @@ def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) ->
     text = f"{banner(title)}\n{format_table(headers, rows)}\n"
     print(text)
     return text
+
+
+# ----------------------------------------------------------------------
+# sweep-engine aggregate tables
+# ----------------------------------------------------------------------
+SWEEP_HEADERS = (
+    "algorithm",
+    "topology",
+    "f",
+    "behavior",
+    "placement",
+    "runs",
+    "success",
+    "mean rounds",
+    "mean msgs",
+    "worst range",
+)
+
+
+def sweep_group_rows(groups: Iterable["GroupAggregate"]) -> List[List[str]]:
+    """Render :class:`~repro.runner.harness.GroupAggregate` records as rows."""
+    rows: List[List[str]] = []
+    for group in groups:
+        worst = "inf" if group.undecided else f"{group.worst_range:.4g}"
+        rows.append(
+            [
+                group.algorithm,
+                group.topology,
+                str(group.f),
+                group.behavior,
+                group.placement,
+                str(group.runs),
+                f"{group.success_rate:.2f}",
+                f"{group.mean_rounds:.1f}",
+                f"{group.mean_messages:.0f}",
+                worst,
+            ]
+        )
+    return rows
+
+
+def render_sweep_groups(title: str, groups: Iterable["GroupAggregate"]) -> str:
+    """The standard human-readable summary of a sweep run."""
+    return f"{banner(title)}\n{format_table(SWEEP_HEADERS, sweep_group_rows(groups))}\n"

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.adversary.adversary import FaultPlan, no_faults
-from repro.adversary.behaviors import CrashBehavior, EquivocateBehavior, FixedValueBehavior
+from repro.adversary.behaviors import CrashBehavior, EquivocateBehavior
 from repro.algorithms.base import ConsensusConfig
 from repro.algorithms.baselines.abraham import AbrahamCliqueProcess, create_clique_processes
 from repro.algorithms.baselines.crash_async import create_crash_processes

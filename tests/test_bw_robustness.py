@@ -22,7 +22,6 @@ from repro.algorithms.topology import TopologyKnowledge
 from repro.graphs.generators import complete_digraph
 from repro.network.delays import UniformDelay
 from repro.runner.experiment import run_bw_experiment
-from repro.runner.harness import spread_inputs
 
 
 GRAPH = complete_digraph(4)

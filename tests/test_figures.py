@@ -11,12 +11,11 @@ impossible) yet the 3-reach condition holds and consensus is achievable.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.conditions.partition_conditions import check_bcs
 from repro.conditions.reach_conditions import check_three_reach, max_tolerable_f
 from repro.graphs.flow import max_vertex_disjoint_paths
-from repro.graphs.generators import figure_1a, figure_1b, two_cliques_bridged
+from repro.graphs.generators import figure_1a, two_cliques_bridged
 from repro.graphs.properties import critical_edges_for_connectivity, undirected_vertex_connectivity
 
 

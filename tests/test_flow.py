@@ -19,7 +19,6 @@ from repro.graphs.generators import (
     complete_digraph,
     directed_cycle,
     directed_path,
-    figure_1b,
 )
 
 

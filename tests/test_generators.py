@@ -16,7 +16,6 @@ from repro.graphs.generators import (
     directed_path,
     directed_sensor_field,
     figure_1a,
-    figure_1b,
     layered_relay_digraph,
     make_bidirected,
     random_bidirected_graph,

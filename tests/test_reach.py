@@ -6,7 +6,7 @@ import pytest
 
 from repro.exceptions import NodeNotFoundError
 from repro.graphs.digraph import DiGraph
-from repro.graphs.generators import complete_digraph, directed_cycle, figure_1a
+from repro.graphs.generators import complete_digraph, directed_cycle
 from repro.graphs.reach import (
     ReachSetCache,
     SourceComponentCache,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.adversary.adversary import FaultPlan, no_faults
+from repro.adversary.adversary import FaultPlan
 from repro.adversary.behaviors import CrashBehavior, FixedValueBehavior
 from repro.algorithms.base import ConsensusConfig
 from repro.exceptions import AdversaryError, ExperimentError

@@ -1,0 +1,93 @@
+"""Smoke tests for the ``python -m repro.runner`` command line."""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+
+from repro.runner.artifacts import load_artifact
+from repro.runner.cli import main
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+SRC_DIR = REPO_ROOT / "src"
+
+
+def _run_module(args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.runner", *args],
+        cwd=cwd, env=env, capture_output=True, text=True, timeout=300,
+    )
+
+
+class TestInProcess:
+    """Drive ``main()`` directly — fast, covers the plumbing."""
+
+    def test_list_shows_every_scenario(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure1a", "figure1b", "definition1", "table1", "necessity"):
+            assert name in out
+
+    def test_run_writes_artifact_and_prints_table(self, tmp_path, capsys):
+        target = tmp_path / "table1.json"
+        code = main(
+            ["run", "--scenario", "table1", "--quick", "--workers", "2",
+             "--output", str(target)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "cells" in out
+        payload = load_artifact(target)
+        assert payload["scenario"] == "table1" and payload["mode"] == "quick"
+
+    def test_run_multiple_scenarios_into_directory(self, tmp_path, capsys):
+        code = main(
+            ["run", "--scenario", "table1,necessity", "--quick",
+             "--output", str(tmp_path), "--no-table"]
+        )
+        assert code == 0
+        assert (tmp_path / "table1.quick.json").exists()
+        assert (tmp_path / "necessity.quick.json").exists()
+
+    def test_compare_gate(self, tmp_path, capsys):
+        target = tmp_path / "current.json"
+        assert main(["run", "--scenario", "table1", "--quick", "--no-table",
+                     "--output", str(target)]) == 0
+        assert main(["compare", str(target), str(target)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+        drifted_path = tmp_path / "drifted.json"
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        payload["groups"][0]["success_rate"] = 0.0
+        drifted_path.write_text(json.dumps(payload), encoding="utf-8")
+        assert main(["compare", str(target), str(drifted_path)]) == 1
+        assert "DRIFT" in capsys.readouterr().out
+
+    def test_unknown_scenario_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["run", "--scenario", "nope", "--output", str(tmp_path)])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestSubprocess:
+    """One true ``python -m repro.runner`` invocation end to end."""
+
+    def test_module_entry_point(self, tmp_path):
+        listed = _run_module(["list"], cwd=tmp_path)
+        assert listed.returncode == 0, listed.stderr
+        assert "definition1" in listed.stdout
+
+        ran = _run_module(
+            ["run", "--scenario", "necessity", "--quick", "--workers", "2",
+             "--output", str(tmp_path / "necessity.json")],
+            cwd=tmp_path,
+        )
+        assert ran.returncode == 0, ran.stderr
+        payload = load_artifact(tmp_path / "necessity.json")
+        assert payload["totals"]["cells"] == 2
