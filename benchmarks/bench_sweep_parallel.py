@@ -5,17 +5,22 @@ Two claims about the orchestration layer itself:
 1. **Determinism** — because every cell seeds from ``(scenario, index)``,
    a run sharded across a ``multiprocessing`` pool produces an artifact
    payload *identical* to the serial run (the acceptance criterion of the
-   sweep engine).
+   sweep engine), including with the per-worker topology cache and the
+   pre-fork cache warm-up active.
 2. **Cost** — the measured serial and sharded wall times are recorded to
    ``benchmarks/results/sweep_speedup.json`` so the parallel overhead /
-   speedup on the build machine is a persisted, machine-readable artefact
-   (on a single-core container the pool can only break even; multi-core CI
-   runners show the speedup).
+   speedup on the build machine is a persisted, machine-readable artefact.
+   The record carries ``cpu_count`` because the number is only meaningful
+   relative to it: on a single-core container a 2-worker pool can at best
+   break even (the committed artefact from such a box documents exactly
+   that), while multi-core machines — e.g. the CI perf-smoke runners, which
+   gate on it — show the real sharding win.
 """
 
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -23,15 +28,17 @@ from repro.runner.artifacts import artifact_payload
 from repro.runner.harness import GridSpec, SweepEngine, TopologySpec
 from repro.runner.reporting import format_table
 
-#: A BW-heavy probe grid: enough per-cell work for sharding to matter.
+#: A BW-heavy probe grid: n=5 clique under the faithful redundant flooding
+#: policy (~40k deliveries per adversarial cell), enough per-cell work that
+#: pool start-up and IPC are noise rather than the measurement.
 SPEEDUP_SPEC = GridSpec(
     name="speedup_probe",
     algorithms=("bw",),
-    topologies=(TopologySpec.make("clique", n=4),),
+    topologies=(TopologySpec.make("clique", n=5),),
     f_values=(1,),
-    behaviors=("crash", "fixed-high", "equivocate", "offset", "tamper-complete"),
+    behaviors=("crash", "fixed-high"),
     placements=("random",),
-    seeds=(1, 2, 3, 4),
+    seeds=(1, 2, 3, 4, 5),
     epsilon=0.25,
     path_policy="redundant",
 )
@@ -49,16 +56,19 @@ def test_sharded_run_is_byte_identical_and_records_speedup(benchmark, write_resu
     # Claim 1: identical payloads — order, seeds, outcomes, aggregates.
     assert artifact_payload(serial, mode="full") == artifact_payload(sharded, mode="full")
 
-    # Claim 2: persist the measured orchestration cost.
+    # Claim 2: persist the measured orchestration cost, with CPU context.
+    cpus = os.cpu_count() or 1
+    speedup = (
+        round(serial.wall_seconds / sharded.wall_seconds, 3) if sharded.wall_seconds else None
+    )
     record = {
         "scenario": SPEEDUP_SPEC.name,
         "cells": len(serial.cells),
         "serial_seconds": round(serial.wall_seconds, 4),
         "sharded_seconds": round(sharded.wall_seconds, 4),
         "sharded_workers": SHARDED_WORKERS,
-        "speedup": round(serial.wall_seconds / sharded.wall_seconds, 3)
-        if sharded.wall_seconds
-        else None,
+        "cpu_count": cpus,
+        "speedup": speedup,
         "cells_per_second_serial": round(len(serial.cells) / serial.wall_seconds, 1)
         if serial.wall_seconds
         else None,
@@ -69,9 +79,14 @@ def test_sharded_run_is_byte_identical_and_records_speedup(benchmark, write_resu
     write_result(
         "sweep_speedup",
         format_table(
-            ["cells", "serial s", f"sharded s (x{SHARDED_WORKERS})", "speedup"],
+            ["cells", "serial s", f"sharded s (x{SHARDED_WORKERS})", "speedup", "cpus"],
             [[record["cells"], record["serial_seconds"], record["sharded_seconds"],
-              record["speedup"]]],
+              record["speedup"], cpus]],
         ),
     )
     assert all(cell.success for cell in serial.cells)
+    # Sanity bound only — "no pathological blow-up".  The hard >= 1.0
+    # multi-core gate lives in ONE place, the CI perf-smoke job, which reads
+    # the JSON written above; asserting the same threshold here as well
+    # would duplicate the gate and flake local single-core runs.
+    assert record["speedup"] is not None and record["speedup"] >= 0.6

@@ -24,6 +24,8 @@ import random
 from abc import ABC, abstractmethod
 from typing import Any, Dict, Hashable, List, Optional, Sequence
 
+from repro.algorithms.messages import RoundValueMessage, ValueMessage
+
 NodeId = Hashable
 
 
@@ -32,8 +34,16 @@ def _replace_value(payload: Any, new_value: float) -> Any:
 
     Payloads that are not dataclasses or carry no ``value`` field are
     returned unchanged (the behaviour then degrades to honest forwarding for
-    that message type, which is within the adversary's power anyway).
+    that message type, which is within the adversary's power anyway).  The
+    flooded message types are special-cased: ``dataclasses.replace`` pays a
+    per-call field introspection that the hot behaviours (every send of a
+    faulty node) should not.
     """
+    cls = payload.__class__
+    if cls is ValueMessage:
+        return ValueMessage(round=payload.round, value=new_value, path=payload.path)
+    if cls is RoundValueMessage:
+        return RoundValueMessage(round=payload.round, value=new_value, origin=payload.origin)
     if dataclasses.is_dataclass(payload) and hasattr(payload, "value"):
         current = getattr(payload, "value")
         if isinstance(current, (int, float)):

@@ -78,6 +78,15 @@ class CrashTolerantProcess(Process):
         # The crash baseline only ever needs simple-path machinery.
         self.topology = topology or TopologyKnowledge(graph, config.f, path_policy="simple")
         self._rounds: Dict[int, _CrashRoundState] = {}
+        #: sorted outgoing neighbours, cached on first send (repr-sort once).
+        self._out_sorted: Optional[Tuple[NodeId, ...]] = None
+
+    def _out_neighbors(self) -> Tuple[NodeId, ...]:
+        if self._out_sorted is None:
+            self._out_sorted = tuple(
+                sorted(self.require_context().out_neighbors, key=repr)
+            )
+        return self._out_sorted
 
     # ------------------------------------------------------------------
     def _round_state(self, round_index: int) -> _CrashRoundState:
@@ -95,7 +104,7 @@ class CrashTolerantProcess(Process):
         state.started = True
         state.message_set.add(self.state_value, (self.node_id,))
         message = ValueMessage(round=round_index, value=self.state_value, path=(self.node_id,))
-        for neighbor in sorted(self.require_context().out_neighbors, key=repr):
+        for neighbor in self._out_neighbors():
             self.send(neighbor, message)
         self._evaluate(round_index)
 
@@ -114,7 +123,7 @@ class CrashTolerantProcess(Process):
         if path not in state.relayed_paths:
             state.relayed_paths.add(path)
             forwarded = ValueMessage(round=payload.round, value=payload.value, path=extended)
-            for neighbor in sorted(self.require_context().out_neighbors, key=repr):
+            for neighbor in self._out_neighbors():
                 if neighbor not in extended:
                     self.send(neighbor, forwarded)
         if is_new and payload.round == self.current_round:

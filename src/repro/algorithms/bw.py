@@ -32,7 +32,6 @@ because handlers run to completion one at a time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Hashable, List, Mapping, Optional, Set, Tuple
 
 from repro.algorithms.base import ConsensusConfig
@@ -40,7 +39,7 @@ from repro.algorithms.completeness import completeness
 from repro.algorithms.filter_average import FilterResult, filter_and_average
 from repro.algorithms.messages import CompleteMessage, ValueMessage, sort_value_pairs
 from repro.algorithms.messagesets import MessageSet
-from repro.algorithms.topology import TopologyKnowledge
+from repro.algorithms.topology import PATH_MEMO_LIMIT, TopologyKnowledge
 from repro.conditions.reach_conditions import check_three_reach
 from repro.exceptions import InfeasibleTopologyError, ProtocolError
 from repro.graphs.digraph import DiGraph
@@ -55,58 +54,79 @@ FaultSet = FrozenSet[NodeId]
 class _ThreadTracker:
     """Incremental state of one parallel thread (one candidate fault set).
 
-    Tracks the Maximal-Consistency ingredients: the value reported per
-    initial node on paths avoiding the candidate set (for consistency) and
-    which required paths have been received (for fullness).  Both are
-    monotone, so simple flags suffice.
+    Per-message work is reduced to *fullness counting*: the topology's
+    reverse index names the threads each required path belongs to, so one
+    counter increment per listed thread replaces a per-thread set-membership
+    test.  Consistency of ``M|_{F_v}`` (Definition 8) is evaluated lazily —
+    once, when the thread becomes full — from the message set's
+    origin/value/mask index; it is sound to defer because a restriction that
+    is inconsistent can never become consistent again (stored messages are
+    immutable), so a full-but-inconsistent thread is permanently dead either
+    way.
     """
 
-    __slots__ = ("fault_set", "required_paths", "received_required", "value_by_origin",
-                 "consistent", "complete_sent", "fifo_received_all")
+    __slots__ = ("fault_set", "fault_mask", "required_count",
+                 "received_required", "complete_sent", "ready_queued",
+                 "fifo_received_all", "fifo_paths", "fifo_entries",
+                 "scan_pos", "reach_mask")
 
-    def __init__(self, fault_set: FaultSet, required_paths: FrozenSet[Path]) -> None:
+    def __init__(self, fault_set: FaultSet, fault_mask: int, required_count: int) -> None:
         self.fault_set = fault_set
-        self.required_paths = required_paths
-        self.received_required: Set[Path] = set()
-        self.value_by_origin: Dict[NodeId, float] = {}
-        self.consistent = True
+        self.fault_mask = fault_mask
+        self.required_count = required_count
+        self.received_required = 0
         self.complete_sent = False
+        #: already enqueued on the round's ready list (avoids duplicates).
+        self.ready_queued = False
         self.fifo_received_all = False
-
-    def observe(self, value: float, path: Path) -> None:
-        """Account for a newly received value message (path already ends at the node)."""
-        if self.fault_set.intersection(path):
-            return
-        origin = path[0]
-        known = self.value_by_origin.get(origin)
-        if known is None:
-            self.value_by_origin[origin] = value
-        elif known != value:
-            self.consistent = False
-        if path in self.required_paths:
-            self.received_required.add(path)
-
-    @property
-    def maximal_consistency(self) -> bool:
-        """Line 10's condition: consistent and full for ``(F_v, v)``."""
-        return self.consistent and len(self.received_required) == len(self.required_paths)
+        #: lazily bound per-thread topology lookups (avoid re-keying the
+        #: shared memos with a fresh frozenset per evaluation).
+        self.fifo_paths: Optional[Dict[NodeId, Tuple[Path, ...]]] = None
+        #: flattened FIFO-Receive-All wait list plus a resume position:
+        #: every entry's satisfaction is monotone (messages are immutable
+        #: once stored, counter prefixes only grow), so each evaluation
+        #: resumes where the previous one stopped instead of rescanning.
+        self.fifo_entries: Optional[List[Tuple[NodeId, Optional[Tuple], Optional[Tuple]]]] = None
+        self.scan_pos = 0
+        self.reach_mask: Optional[int] = None
 
 
-@dataclass
 class _RoundState:
     """Mutable per-round state of a BW node."""
 
-    round_index: int
-    message_set: MessageSet = field(default_factory=MessageSet)
-    relayed_value_paths: Set[Path] = field(default_factory=set)
-    trackers: Dict[FaultSet, _ThreadTracker] = field(default_factory=dict)
-    #: ``(origin, fault_set, path)`` → first CompleteMessage received that way.
-    complete_messages: Dict[Tuple[NodeId, FaultSet, Path], CompleteMessage] = field(default_factory=dict)
-    relayed_complete_keys: Set[Tuple[NodeId, int, Path]] = field(default_factory=set)
-    completeness_passed: Set[Tuple[NodeId, FaultSet, Tuple]] = field(default_factory=set)
-    advanced: bool = False
-    filter_result: Optional[FilterResult] = None
-    started: bool = False
+    __slots__ = ("round_index", "message_set", "relayed_value_paths", "trackers",
+                 "ready_trackers", "awaiting_fifo", "fifo_all_count",
+                 "complete_messages", "complete_path_masks",
+                 "relayed_complete_keys", "complete_content_keys",
+                 "completeness_passed", "advanced", "filter_result", "started")
+
+    def __init__(self, round_index: int, message_set: MessageSet) -> None:
+        self.round_index = round_index
+        self.message_set = message_set
+        self.relayed_value_paths: Set[Path] = set()
+        self.trackers: Dict[FaultSet, _ThreadTracker] = {}
+        #: trackers whose Maximal-Consistency condition just became true
+        #: (filled by ``observe``; drained by ``_maybe_flood_completes`` so
+        #: the per-message re-evaluation never scans quiescent trackers).
+        self.ready_trackers: List[_ThreadTracker] = []
+        #: threads with COMPLETE sent but FIFO-Receive-All outstanding, and
+        #: threads past FIFO-Receive-All — counters gating the evaluation
+        #: loop's sections (lines 12 and 14) so quiescent phases cost O(1).
+        self.awaiting_fifo = 0
+        self.fifo_all_count = 0
+        #: ``(origin, fault_set, path)`` → first CompleteMessage received that way.
+        self.complete_messages: Dict[Tuple[NodeId, FaultSet, Path], CompleteMessage] = {}
+        #: propagation path → member mask (computed once at receipt; Verify's
+        #: reach-containment test is a single AND against these).
+        self.complete_path_masks: Dict[Path, int] = {}
+        self.relayed_complete_keys: Set[Tuple[NodeId, int, Path]] = set()
+        #: ``(origin, fault_set, path)`` → precomputed ``content_key()`` of the
+        #: stored message (FIFO-Receive-All compares these per evaluation).
+        self.complete_content_keys: Dict[Tuple[NodeId, FaultSet, Path], Tuple] = {}
+        self.completeness_passed: Set[Tuple[NodeId, FaultSet, Tuple]] = set()
+        self.advanced = False
+        self.filter_result: Optional[FilterResult] = None
+        self.started = False
 
 
 class BWProcess(Process):
@@ -156,6 +176,20 @@ class BWProcess(Process):
         self._fifo_counter = 0
         #: (origin, path ending here) → set of FIFO counters received that way.
         self._fifo_counters_seen: Dict[Tuple[NodeId, Path], Set[int]] = {}
+        #: (origin, path) → longest contiguous counter prefix received (the
+        #: FIFO-Receive check of Appendix F in O(1) instead of O(counter)).
+        self._fifo_prefix: Dict[Tuple[NodeId, Path], int] = {}
+        #: experiment-wide path codec (graph nodes share the engine's bits).
+        self._codec = self.topology.path_codec
+        #: sorted ``(neighbour, neighbour-bit)`` pairs, built on first send.
+        self._out_info: Optional[List[Tuple[NodeId, int]]] = None
+        #: raw context send (bound at first use).  Flooding loops only ever
+        #: target out-neighbours, so the per-send edge check of
+        #: ``Context.send`` is redundant on this path; ``messages_sent`` is
+        #: bulk-updated per loop instead of per call.
+        self._raw_send: Optional[Any] = None
+        #: reverse fullness index of this node (bound on first round state).
+        self._required_index: Optional[Dict[int, Tuple[FaultSet, ...]]] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -169,7 +203,15 @@ class BWProcess(Process):
 
     def on_message(self, sender: NodeId, payload: Any) -> None:
         """Dispatch on the two protocol message families."""
-        if isinstance(payload, ValueMessage):
+        # Exact-class checks first: every honest payload is one of the two
+        # concrete types; isinstance only runs for exotic (subclassed)
+        # payloads a Byzantine sender might construct.
+        cls = payload.__class__
+        if cls is ValueMessage:
+            self._handle_value(sender, payload)
+        elif cls is CompleteMessage:
+            self._handle_complete(sender, payload)
+        elif isinstance(payload, ValueMessage):
             self._handle_value(sender, payload)
         elif isinstance(payload, CompleteMessage):
             self._handle_complete(sender, payload)
@@ -178,25 +220,58 @@ class BWProcess(Process):
     # ------------------------------------------------------------------
     # round management
     # ------------------------------------------------------------------
+    def _out_neighbors(self) -> List[Tuple[NodeId, int]]:
+        """Sorted ``(neighbour, bit)`` pairs (cached; repr-sort once, not per send)."""
+        info = self._out_info
+        if info is None:
+            context = self.require_context()
+            codec = self._codec
+            info = [
+                (neighbor, 1 << codec.bit(neighbor))
+                for neighbor in sorted(context.out_neighbors, key=repr)
+            ]
+            self._out_info = info
+            self._raw_send = context._send
+        return info
+
+    def _flood(self, targets: List[NodeId], payload: Any) -> None:
+        """Send ``payload`` to every target neighbour (hot flooding loop)."""
+        send = self._raw_send
+        if send is None:
+            self._out_neighbors()
+            send = self._raw_send
+        node_id = self.node_id
+        for neighbor in targets:
+            send(node_id, neighbor, payload)
+        self.messages_sent += len(targets)
+
     def _round_state(self, round_index: int) -> _RoundState:
-        if round_index not in self._rounds:
-            state = _RoundState(round_index=round_index)
-            for fault_set in self.topology.fault_candidates[self.node_id]:
+        state = self._rounds.get(round_index)
+        if state is None:
+            state = _RoundState(round_index, MessageSet(codec=self._codec))
+            topology = self.topology
+            engine = topology.engine
+            for fault_set in topology.fault_candidates[self.node_id]:
                 state.trackers[fault_set] = _ThreadTracker(
-                    fault_set, self.topology.required_paths(self.node_id, fault_set)
+                    fault_set,
+                    engine.mask_of(fault_set),
+                    len(topology.required_path_ids(self.node_id, fault_set)),
                 )
+            if self._required_index is None:
+                self._required_index = topology.required_index(self.node_id)
             self._rounds[round_index] = state
-        return self._rounds[round_index]
+        return state
 
     def _start_round(self, round_index: int) -> None:
         state = self._round_state(round_index)
         state.started = True
         # The node's own value enters its message history on the trivial path ⟨v⟩ ...
-        self._record_value(round_index, self.state_value, (self.node_id,))
+        trivial = (self.node_id,)
+        record = self._path_record(trivial)
+        self._record_value(state, self.state_value, trivial, record[1], record[2])
         # ... and is RedundantFlooded to every outgoing neighbour (Algorithm 4, code for s).
-        message = ValueMessage(round=round_index, value=self.state_value, path=(self.node_id,))
-        for neighbor in sorted(self.require_context().out_neighbors, key=repr):
-            self.send(neighbor, message)
+        message = ValueMessage(round=round_index, value=self.state_value, path=trivial)
+        self._flood([neighbor for neighbor, _ in self._out_neighbors()], message)
         self._evaluate(round_index)
 
     def _advance(self, round_index: int, filter_result: FilterResult) -> None:
@@ -219,40 +294,160 @@ class BWProcess(Process):
             return is_simple(path)
         return is_redundant(path)
 
+    def _forward_targets_uncached(self, extended: Path) -> List[NodeId]:
+        """Neighbours ``u`` (sorted) for which ``extended || u`` satisfies the
+        flooding policy — the per-neighbour test of Algorithm 4's relay rule.
+        Memoised per path in the shared path record (:meth:`_path_record`).
+
+        ``extended`` already satisfies the policy (checked at receipt), which
+        lets the appended-hop test run on member masks instead of re-scanning
+        the whole path per neighbour:
+
+        * *simple* policy: ``extended || u`` is simple iff ``u`` is not a
+          member of ``extended`` — one AND against the member mask;
+        * *redundant* policy: with ``a`` the longest simple prefix length and
+          ``b`` the longest simple suffix start of ``extended``, appending
+          ``u`` keeps redundancy iff the path was fully simple (any neighbour
+          works: ``⟨…, ter, u⟩`` is a simple suffix because ``u ≠ ter``), or
+          ``u`` is outside the suffix (the suffix start is unchanged), or the
+          last occurrence ``k`` of ``u`` still leaves a split: ``k + 1 < a``.
+        """
+        out = self._out_neighbors()
+        codec = self._codec
+        if self.config.path_policy == "simple":
+            member = codec.member_mask(extended)
+            return [neighbor for neighbor, bit in out if not member & bit]
+        length = len(extended)
+        seen: Set[NodeId] = set()
+        prefix_length = 0
+        for node in extended:
+            if node in seen:
+                break
+            seen.add(node)
+            prefix_length += 1
+        if prefix_length == length:
+            return [neighbor for neighbor, _ in out]
+        suffix_mask = 0
+        suffix_start = length
+        seen = set()
+        for index in range(length - 1, -1, -1):
+            node = extended[index]
+            if node in seen:
+                break
+            seen.add(node)
+            suffix_mask |= 1 << codec.bit(node)
+            suffix_start = index
+        targets = []
+        for neighbor, bit in out:
+            if not suffix_mask & bit:
+                # Suffix start is unchanged and the path was already
+                # redundant, so the split at ``suffix_start`` survives.
+                targets.append(neighbor)
+                continue
+            last = length - 1
+            while extended[last] != neighbor:
+                last -= 1
+            if last + 1 < prefix_length:
+                targets.append(neighbor)
+        return targets
+
+    def _path_record(self, path: Path) -> List:
+        """``[policy verdict, member mask, path id, relay targets]`` — shared
+        across processes, rounds and (via the sweep worker cache) cells.
+
+        The relay-target slot is filled lazily on first relay (only the
+        path's terminal node ever computes it)."""
+        info = self.topology.path_info
+        record = info.get(path)
+        if record is None:
+            record = [
+                self._path_policy_allows(path),
+                self._codec.member_mask(path),
+                self.topology.path_id(path),
+                None,
+            ]
+            if len(info) < PATH_MEMO_LIMIT:
+                info[path] = record
+        return record
+
     def _handle_value(self, sender: NodeId, message: ValueMessage) -> None:
         path = tuple(message.path)
         if not path or path[-1] != sender:
             return  # propagation-path forgery that misreports the link sender
         extended = path + (self.node_id,)
-        if not self._path_policy_allows(extended):
+        record = self._path_record(extended)
+        if not record[0]:
             return
-        state = self._round_state(message.round)
-        is_new_path = extended not in state.message_set
+        path_mask = record[1]
+        path_id = record[2]
+        round_index = message.round
+        state = self._rounds.get(round_index)
+        if state is None:
+            state = self._round_state(round_index)
+        is_new_path = state.message_set.add_encoded(extended, message.value, path_mask)
         if is_new_path:
-            self._record_value(message.round, message.value, extended)
+            self._note_required(state, path_id)
         # Relay rule of Algorithm 4: only the first message per propagation path
         # is forwarded, and only towards neighbours keeping the path redundant.
-        if path not in state.relayed_value_paths:
-            state.relayed_value_paths.add(path)
-            forwarded = ValueMessage(round=message.round, value=message.value, path=extended)
-            for neighbor in sorted(self.require_context().out_neighbors, key=repr):
-                if self._path_policy_allows(extended + (neighbor,)):
-                    self.send(neighbor, forwarded)
+        relayed = state.relayed_value_paths
+        before = len(relayed)
+        relayed.add(path)
+        if len(relayed) != before:
+            targets = record[3]
+            if targets is None:
+                targets = self._forward_targets_uncached(extended)
+                record[3] = targets
+            forwarded = ValueMessage(round=round_index, value=message.value, path=extended)
+            self._flood(targets, forwarded)
         if is_new_path:
             # Maximal-Consistency keeps being monitored even for rounds this
             # node already finished: other nodes may still be waiting for this
             # node's COMPLETE announcements (Theorem 9 relies on every
             # nonfaulty node eventually flooding COMPLETE(F) for the actual
-            # fault set, in every round).
-            self._maybe_flood_completes(message.round)
-            if message.round == self.current_round:
-                self._evaluate(message.round)
+            # fault set, in every round).  For the current round the full
+            # evaluation loop runs (its first step is exactly that flood).
+            # A value delivery can only progress the round when a thread
+            # just became full (ready_trackers) or a thread is already past
+            # FIFO-Receive-All and waiting on Verify, whose Completeness
+            # check reads the message set (fifo_all_count) — every other
+            # section's inputs are untouched by value messages, so the
+            # evaluation loop is skipped outright.
+            if round_index == self.current_round:
+                if state.ready_trackers or state.fifo_all_count:
+                    self._evaluate_state(state)
+            elif state.ready_trackers:
+                self._maybe_flood_completes(state)
 
-    def _record_value(self, round_index: int, value: float, path: Path) -> None:
-        state = self._round_state(round_index)
-        if state.message_set.add(value, path):
-            for tracker in state.trackers.values():
-                tracker.observe(value, path)
+    def _note_required(self, state: _RoundState, path_id: int) -> None:
+        """Fullness update for one newly stored path (Definition 9).
+
+        The reverse index lists exactly the threads whose required-path set
+        contains this path; a thread transitioning to *full* is queued for
+        the Maximal-Consistency drain (consistency is evaluated there).
+        Required paths arrive at most once (the message set deduplicates),
+        so plain counters are exact.
+        """
+        required_by = self._required_index.get(path_id)
+        if not required_by:
+            return
+        trackers = state.trackers
+        ready = state.ready_trackers
+        for fault_set in required_by:
+            tracker = trackers[fault_set]
+            tracker.received_required += 1
+            if (
+                tracker.received_required == tracker.required_count
+                and not tracker.ready_queued
+                and not tracker.complete_sent
+            ):
+                tracker.ready_queued = True
+                ready.append(tracker)
+
+    def _record_value(
+        self, state: _RoundState, value: float, path: Path, path_mask: int, path_id: int
+    ) -> None:
+        if state.message_set.add_encoded(path, value, path_mask):
+            self._note_required(state, path_id)
 
     # ------------------------------------------------------------------
     # COMPLETE messages (FIFO flood)
@@ -269,11 +464,13 @@ class BWProcess(Process):
             return  # FIFO flooding uses simple paths only
         extended = path + (self.node_id,)
         state = self._round_state(message.round)
+        extended_mask = self._codec.member_mask(extended)
+        state.complete_path_masks.setdefault(extended, extended_mask)
 
-        self._fifo_counters_seen.setdefault((message.origin, extended), set()).add(message.fifo_counter)
+        self._note_fifo_counter(message.origin, extended, message.fifo_counter)
         key = (message.origin, frozenset(message.fault_set), extended)
         if key not in state.complete_messages:
-            state.complete_messages[key] = CompleteMessage(
+            stored = CompleteMessage(
                 round=message.round,
                 origin=message.origin,
                 fault_set=frozenset(message.fault_set),
@@ -281,6 +478,8 @@ class BWProcess(Process):
                 fifo_counter=message.fifo_counter,
                 path=extended,
             )
+            state.complete_messages[key] = stored
+            state.complete_content_keys[key] = stored.content_key()
 
         relay_key = (message.origin, message.fifo_counter, path)
         if relay_key not in state.relayed_complete_keys:
@@ -293,20 +492,39 @@ class BWProcess(Process):
                 fifo_counter=message.fifo_counter,
                 path=extended,
             )
-            for neighbor in sorted(self.require_context().out_neighbors, key=repr):
-                if neighbor not in extended:
-                    self.send(neighbor, forwarded)
+            self._flood(
+                [neighbor for neighbor, bit in self._out_neighbors() if not extended_mask & bit],
+                forwarded,
+            )
 
         if message.round == self.current_round:
             self._evaluate(message.round)
 
+    def _note_fifo_counter(self, origin: NodeId, path: Path, counter: int) -> None:
+        """Record a received FIFO counter and advance the contiguous prefix."""
+        key = (origin, path)
+        seen = self._fifo_counters_seen.get(key)
+        if seen is None:
+            seen = set()
+            self._fifo_counters_seen[key] = seen
+        seen.add(counter)
+        prefix = self._fifo_prefix.get(key, 0)
+        if counter == prefix + 1:
+            prefix += 1
+            while prefix + 1 in seen:
+                prefix += 1
+            self._fifo_prefix[key] = prefix
+
     def _fifo_received(self, origin: NodeId, path: Path, counter: int) -> bool:
         """FIFO-Receive check of Appendix F: all earlier counters from the same
-        origin arrived on the same propagation path."""
+        origin arrived on the same propagation path.
+
+        O(1): counters ``1..k`` were all received iff the contiguous prefix
+        maintained by :meth:`_note_fifo_counter` reaches ``k``.
+        """
         if origin == self.node_id:
             return True
-        seen = self._fifo_counters_seen.get((origin, path), set())
-        return all(previous in seen for previous in range(1, counter))
+        return self._fifo_prefix.get((origin, path), 0) >= counter - 1
 
     def _fifo_flood_complete(self, round_index: int, fault_set: FaultSet, values: Mapping[NodeId, float]) -> None:
         counter = self._next_fifo_counter()
@@ -321,37 +539,77 @@ class BWProcess(Process):
         )
         state = self._round_state(round_index)
         # The node trivially "receives" its own announcement on the path ⟨v⟩.
-        state.complete_messages[(self.node_id, fault_set, (self.node_id,))] = message
-        for neighbor in sorted(self.require_context().out_neighbors, key=repr):
-            self.send(neighbor, message)
+        own_key = (self.node_id, fault_set, (self.node_id,))
+        state.complete_messages[own_key] = message
+        state.complete_content_keys[own_key] = message.content_key()
+        state.complete_path_masks.setdefault(
+            (self.node_id,), 1 << self._codec.bit(self.node_id)
+        )
+        self._flood([neighbor for neighbor, _ in self._out_neighbors()], message)
 
     # ------------------------------------------------------------------
     # condition evaluation (lines 10-19 of Algorithm 1)
     # ------------------------------------------------------------------
-    def _maybe_flood_completes(self, round_index: int) -> bool:
+    def _maybe_flood_completes(self, state: _RoundState) -> bool:
         """Maximal-Consistency (line 10) → FIFO-flood COMPLETE (line 11).
 
         Evaluated for *any* round the node has started (including rounds it
         already finished), because other nodes' FIFO-Receive-All conditions
-        wait for this node's announcements.
+        wait for this node's announcements.  Only trackers whose condition
+        just transitioned (queued by ``observe``) are examined.
         """
-        state = self._round_state(round_index)
-        if not state.started:
+        if not state.started or not state.ready_trackers:
             return False
         progressed = False
-        for fault_set, tracker in state.trackers.items():
-            if tracker.complete_sent or not tracker.maximal_consistency:
+        while state.ready_trackers:
+            tracker = state.ready_trackers.pop(0)
+            tracker.ready_queued = False
+            if tracker.complete_sent or tracker.received_required != tracker.required_count:
+                continue
+            # Lazy Definition 8 check: derive the value map of ``M|_{F_v}``
+            # from the message set's origin/value/mask index.  ``None`` means
+            # the restriction is inconsistent — permanently, since stored
+            # messages are immutable — so the thread never fires.
+            value_map = self._restricted_value_map(state.message_set, tracker.fault_mask)
+            if value_map is None:
                 continue
             tracker.complete_sent = True
-            restricted = state.message_set.exclude(fault_set)
-            self._fifo_flood_complete(round_index, fault_set, restricted.value_map())
+            state.awaiting_fifo += 1
+            self._fifo_flood_complete(state.round_index, tracker.fault_set, value_map)
             progressed = True
         return progressed
+
+    def _restricted_value_map(
+        self, message_set: MessageSet, fault_mask: int
+    ) -> Optional[Mapping[NodeId, float]]:
+        """Value map of ``M|_F`` (Definition 7) — or ``None`` when inconsistent.
+
+        For every origin, scan its values for one with at least one
+        propagation path avoiding ``F``; two such values violate Definition 8.
+        """
+        result: Dict[NodeId, float] = {}
+        for origin, by_value in message_set.value_masks_by_origin().items():
+            found: Optional[float] = None
+            for value, masks in by_value.items():
+                for mask in masks:
+                    if not mask & fault_mask:
+                        break
+                else:
+                    continue
+                if found is None:
+                    found = value
+                else:
+                    return None
+            if found is not None:
+                result[origin] = found
+        return result
 
     def _evaluate(self, round_index: int) -> None:
         if round_index != self.current_round:
             return
-        state = self._round_state(round_index)
+        self._evaluate_state(self._round_state(round_index))
+
+    def _evaluate_state(self, state: _RoundState) -> None:
         if state.advanced or not state.started:
             return
 
@@ -360,73 +618,107 @@ class BWProcess(Process):
             progressed = False
 
             # Maximal-Consistency (line 10) → FIFO-flood COMPLETE (line 11).
-            if self._maybe_flood_completes(round_index):
+            if self._maybe_flood_completes(state):
                 progressed = True
 
-            # FIFO-Receive-All (line 12) per thread.
-            for fault_set, tracker in state.trackers.items():
-                if tracker.fifo_received_all or not tracker.complete_sent:
-                    continue
-                if self._fifo_receive_all_satisfied(state, fault_set):
-                    tracker.fifo_received_all = True
-                    progressed = True
+            # FIFO-Receive-All (line 12) per thread with COMPLETE in flight.
+            if state.awaiting_fifo:
+                for fault_set, tracker in state.trackers.items():
+                    if tracker.fifo_received_all or not tracker.complete_sent:
+                        continue
+                    if self._fifo_receive_all_satisfied(state, fault_set, tracker):
+                        tracker.fifo_received_all = True
+                        state.awaiting_fifo -= 1
+                        state.fifo_all_count += 1
+                        progressed = True
 
             # Verify (line 14 / function at line 20) → Filter-and-Average.
-            for fault_set, tracker in state.trackers.items():
-                if state.advanced:
-                    break
-                if not tracker.fifo_received_all:
-                    continue
-                if self._verify(state, fault_set):
-                    result = filter_and_average(
-                        state.message_set, self.config.f, self.node_id
-                    )
-                    self._advance(round_index, result)
-                    progressed = True
-                    break
+            if state.fifo_all_count:
+                for fault_set, tracker in state.trackers.items():
+                    if state.advanced:
+                        break
+                    if not tracker.fifo_received_all:
+                        continue
+                    if self._verify(state, fault_set, tracker):
+                        result = filter_and_average(
+                            state.message_set, self.config.f, self.node_id
+                        )
+                        self._advance(state.round_index, result)
+                        progressed = True
+                        break
 
-    def _fifo_receive_all_satisfied(self, state: _RoundState, fault_set: FaultSet) -> bool:
+    def _fifo_receive_all_satisfied(
+        self, state: _RoundState, fault_set: FaultSet, tracker: _ThreadTracker
+    ) -> bool:
         """Line 12: identical, FIFO-received ``COMPLETE(F_v)`` announcements from
         every node of ``reach_v(F_v)`` over every simple path inside the reach set."""
-        paths_by_origin = self.topology.simple_paths_within_reach(self.node_id, fault_set)
-        for origin, paths in paths_by_origin.items():
-            if origin == self.node_id:
-                if not state.trackers[fault_set].complete_sent:
-                    return False
-                continue
-            contents = set()
-            for path in paths:
-                message = state.complete_messages.get((origin, fault_set, path))
-                if message is None:
-                    return False
-                if not self._fifo_received(origin, path, message.fifo_counter):
-                    return False
-                contents.add(message.content_key())
-            if len(contents) != 1:
-                return False
-        return True
+        paths_by_origin = tracker.fifo_paths
+        if paths_by_origin is None:
+            paths_by_origin = self.topology.simple_paths_within_reach(self.node_id, fault_set)
+            tracker.fifo_paths = paths_by_origin
+        entries = tracker.fifo_entries
+        if entries is None:
+            # Flatten the wait list once per thread: ``(origin, key,
+            # first_key)`` where ``key`` indexes ``complete_messages`` and
+            # ``first_key`` is the origin's first path (content reference);
+            # the self entry (COMPLETE sent locally) gets ``key = None``.
+            entries = []
+            for origin, paths in paths_by_origin.items():
+                if origin == self.node_id:
+                    entries.append((origin, None, None))
+                    continue
+                first_key = None
+                for path in paths:
+                    key = (origin, fault_set, path)
+                    entries.append((origin, key, first_key))
+                    if first_key is None:
+                        first_key = key
+            tracker.fifo_entries = entries
 
-    def _verify(self, state: _RoundState, fault_set: FaultSet) -> bool:
+        complete_messages = state.complete_messages
+        content_keys = state.complete_content_keys
+        fifo_prefix = self._fifo_prefix
+        pos = tracker.scan_pos
+        total = len(entries)
+        while pos < total:
+            origin, key, first_key = entries[pos]
+            if key is None:
+                if not tracker.complete_sent:
+                    break
+            else:
+                message = complete_messages.get(key)
+                if message is None:
+                    break
+                if fifo_prefix.get((origin, key[2]), 0) < message.fifo_counter - 1:
+                    break
+                if first_key is not None and content_keys[key] != content_keys[first_key]:
+                    break
+            pos += 1
+        tracker.scan_pos = pos
+        return pos == total
+
+    def _verify(
+        self, state: _RoundState, fault_set: FaultSet, tracker: _ThreadTracker
+    ) -> bool:
         """Function Verify (lines 20-26): Completeness for every announcement
         FIFO-received through a simple path inside ``reach_v(F_v)``.
 
         Path-containment tests run on the shared bitmask engine: the reach
         set is a memoised mask (one cache per experiment run, shared across
-        rounds and fault-set pairs) and each path-in-reach check is a single
-        word operation instead of a set comparison.
+        rounds and fault-set pairs, re-bound per thread) and each
+        path-in-reach check is a single word operation instead of a set
+        comparison.
         """
-        engine = self.topology.engine
-        reach_mask = self.topology.reach_mask(self.node_id, fault_set)
-        bit_of = engine.index
+        reach_mask = tracker.reach_mask
+        if reach_mask is None:
+            reach_mask = self.topology.reach_mask(self.node_id, fault_set)
+            tracker.reach_mask = reach_mask
+        outside_reach = ~reach_mask
+        path_masks = state.complete_path_masks
         for (origin, announced_set, path), message in state.complete_messages.items():
-            path_mask = 0
-            for hop in path:
-                bit = bit_of.get(hop)
-                if bit is None:  # forged hop outside the graph: never in reach
-                    path_mask = ~reach_mask
-                    break
-                path_mask |= 1 << bit
-            if path_mask & ~reach_mask:
+            # Member masks are computed once at receipt; forged hops intern
+            # beyond the graph's bits, so they always test as outside reach.
+            if path_masks[path] & outside_reach:
                 continue
             if not self._fifo_received(origin, path, message.fifo_counter):
                 continue

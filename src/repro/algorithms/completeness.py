@@ -24,7 +24,7 @@ from typing import Dict, Hashable, Iterable, Mapping, Optional
 
 from repro.algorithms.messagesets import MessageSet
 from repro.algorithms.topology import TopologyKnowledge
-from repro.graphs.paths import has_f_cover
+from repro.graphs.bitset import has_f_cover_masks
 
 NodeId = Hashable
 
@@ -61,19 +61,29 @@ def completeness(
     """
     fault_set_u = frozenset(witness_fault_set)
     f = topology.f
+    codec = message_set.codec
+    evaluating_bit = 1 << codec.bit(evaluating_node)
     for fault_set_w in topology.fault_sets:
         if fault_set_w == fault_set_u:
             continue
         component = topology.source_component(fault_set_u, fault_set_w)
+        # The f-cover search runs on member masks: candidate cover nodes are
+        # path members outside ``S ∪ {v}``, so forbidden bits are cleared
+        # from every mask up front (a node the codec never saw lies on no
+        # stored path and cannot be part of a useful cover anyway).
+        forbidden_mask = codec.mask_of(component, only_known=True) | evaluating_bit
+        allowed_mask = ~forbidden_mask
         for source_node in component:
             if source_node not in witness_values:
                 # The witness did not vouch for this node's value: we cannot
                 # confirm it yet, so the announcement is not complete.
                 return False
             expected = witness_values[source_node]
-            confirming_paths = message_set.paths_from_with_value(source_node, expected)
-            forbidden = set(component) | {evaluating_node}
-            if has_f_cover(confirming_paths, f, forbidden=forbidden):
+            masks = [
+                mask & allowed_mask
+                for mask in message_set.masks_from_with_value(source_node, expected)
+            ]
+            if has_f_cover_masks(masks, f):
                 return False
     return True
 

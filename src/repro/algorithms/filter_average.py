@@ -21,7 +21,7 @@ the trimmed vector is never empty for a correctly configured run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, List, Tuple
+from typing import Hashable, List, Optional, Tuple
 
 from repro.algorithms.messagesets import MessageSet
 from repro.exceptions import ProtocolError
@@ -53,18 +53,35 @@ class FilterResult:
         return [value for value, _ in self.kept_entries]
 
 
-def _longest_coverable_prefix(entries: List[Entry], f: int, evaluating_node: NodeId) -> int:
+def _longest_coverable_prefix(
+    entries: List[Entry],
+    f: int,
+    evaluating_node: NodeId,
+    masks: Optional[List[int]] = None,
+    allowed_mask: int = 0,
+) -> int:
     """Length of the longest prefix whose path set admits an f-cover.
 
     Monotone in the prefix length (a cover of a longer prefix covers every
     shorter one), so a linear scan that stops at the first uncoverable prefix
     is exact.  For ``f ≤ 1`` an incremental running-intersection computation
-    is used (a single node covers a path set iff it lies on every path);
+    is used (a single node covers a path set iff it lies on every path) —
+    on member masks when the caller provides them (``masks[i]`` matching
+    ``entries[i]``, ``allowed_mask`` clearing the evaluating node's bit);
     higher ``f`` falls back to the generic hitting-set search per prefix.
     """
     if f <= 0 or not entries:
         return 0
     if f == 1:
+        if masks is not None:
+            common = allowed_mask
+            length = 0
+            for index, mask in enumerate(masks):
+                common &= mask
+                if not common:
+                    break
+                length = index + 1
+            return length
         common = None
         length = 0
         for index, (_, path) in enumerate(entries):
@@ -110,8 +127,22 @@ def filter_and_average(
     if not entries:
         raise ProtocolError("Filter-and-Average called on an empty message set")
 
-    trimmed_low = _longest_coverable_prefix(entries, f, evaluating_node)
-    trimmed_high = _longest_coverable_prefix(list(reversed(entries)), f, evaluating_node)
+    masks: Optional[List[int]] = None
+    allowed_mask = 0
+    if f == 1:
+        mask_on_path = message_set.mask_on_path
+        masks = [mask_on_path(path) for _, path in entries]
+        allowed_mask = ~(1 << message_set.codec.bit(evaluating_node))
+    trimmed_low = _longest_coverable_prefix(
+        entries, f, evaluating_node, masks=masks, allowed_mask=allowed_mask
+    )
+    trimmed_high = _longest_coverable_prefix(
+        list(reversed(entries)),
+        f,
+        evaluating_node,
+        masks=None if masks is None else masks[::-1],
+        allowed_mask=allowed_mask,
+    )
 
     kept = entries[trimmed_low: len(entries) - trimmed_high]
     if not kept:

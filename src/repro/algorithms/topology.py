@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Tuple
 
 from repro.exceptions import ProtocolError
-from repro.graphs.bitset import BitsetIndex
+from repro.graphs.bitset import BitsetIndex, PathCodec
 from repro.graphs.digraph import DiGraph
 from repro.graphs.paths import (
     enumerate_redundant_paths_to,
@@ -44,6 +44,13 @@ FaultSet = FrozenSet[NodeId]
 #: faithful policy of the paper (Algorithm 4); ``"simple"`` floods only along
 #: simple paths and exists as a documented cost/fidelity ablation.
 PATH_POLICIES = ("redundant", "simple")
+
+#: Safety bound on the per-experiment path memos (ids, policy verdicts,
+#: relay targets).  Honest executions stay far below it — the path universe
+#: is the graph's redundant paths, which the precomputation materializes
+#: anyway — but a hostile behaviour forging unbounded fresh paths must not
+#: grow a worker-cached knowledge instance without limit.
+PATH_MEMO_LIMIT = 1 << 17
 
 
 class TopologyKnowledge:
@@ -73,6 +80,12 @@ class TopologyKnowledge:
         #: checkers and by mask-level queries on the BW verification path).
         self.engine: BitsetIndex = BitsetIndex.for_graph(graph)
 
+        #: shared path codec: graph nodes use the engine's bits, forged hops
+        #: (Byzantine senders may invent them) intern beyond the graph.  One
+        #: codec per experiment keeps member masks comparable across every
+        #: process and every round.
+        self.path_codec: PathCodec = PathCodec.for_engine(self.engine)
+
         #: every candidate fault set ``F ⊆ V`` with ``|F| ≤ f`` (used by Completeness).
         self.fault_sets: List[FaultSet] = list(iter_subsets(self.nodes, f))
 
@@ -82,7 +95,21 @@ class TopologyKnowledge:
         }
 
         self._required_paths: Dict[Tuple[NodeId, FaultSet], FrozenSet[Path]] = {}
+        self._required_path_ids: Dict[Tuple[NodeId, FaultSet], FrozenSet[int]] = {}
+        self._required_index: Dict[NodeId, Dict[int, Tuple[FaultSet, ...]]] = {}
+        #: path → small int, shared by every process of the experiment, so the
+        #: fullness check of Definition 9 is integer-set membership instead of
+        #: tuple hashing (tuples re-hash on every lookup).
+        self._path_ids: Dict[Path, int] = {}
         self._simple_paths_in_reach: Dict[Tuple[NodeId, FaultSet], Dict[NodeId, Tuple[Path, ...]]] = {}
+        #: per-path hot record ``path → [policy verdict, member mask, path
+        #: id, relay targets]`` (Algorithm 4's per-message and per-neighbour
+        #: policy tests).  Every field depends only on the path, the graph
+        #: and the policy — all fixed per instance — so every process, round
+        #: and (through the sweep worker cache) cell sharing this knowledge
+        #: reuses the same records.  The relay-target slot is filled lazily
+        #: by the path's terminal node.
+        self.path_info: Dict[Path, List] = {}
         #: one memo cache per experiment run, shared across rounds and across
         #: every process — repeated reach / source-component queries hit the
         #: memo instead of rebuilding subgraphs.
@@ -109,6 +136,62 @@ class TopologyKnowledge:
                 paths = enumerate_simple_paths_to(subgraph, node)
             self._required_paths[key] = frozenset(paths) | {(node,)}
         return self._required_paths[key]
+
+    def path_id(self, path: Path, force: bool = False) -> int:
+        """Stable small-integer id of ``path`` within this experiment.
+
+        Interned on first sight; ids are only meaningful relative to this
+        :class:`TopologyKnowledge` instance (all processes share one).  Past
+        :data:`PATH_MEMO_LIMIT` new paths stop being interned and map to
+        ``-1`` (never a required id) unless ``force`` is set — required
+        paths must always intern so fullness stays exact.
+        """
+        ids = self._path_ids
+        known = ids.get(path)
+        if known is None:
+            if not force and len(ids) >= PATH_MEMO_LIMIT:
+                return -1
+            known = len(ids)
+            ids[path] = known
+        return known
+
+    def required_path_ids(self, node: NodeId, fault_set: FaultSet) -> FrozenSet[int]:
+        """:meth:`required_paths` as a frozen set of interned path ids.
+
+        The Maximal-Consistency fullness check (Definition 9) runs once per
+        received message per thread; integer membership avoids re-hashing
+        path tuples in that innermost loop.
+        """
+        key = (node, frozenset(fault_set))
+        cached = self._required_path_ids.get(key)
+        if cached is None:
+            cached = frozenset(
+                self.path_id(path, force=True) for path in self.required_paths(node, key[1])
+            )
+            self._required_path_ids[key] = cached
+        return cached
+
+    def required_index(self, node: NodeId) -> Dict[int, Tuple[FaultSet, ...]]:
+        """Reverse fullness index: path id → the candidate fault sets of
+        ``node`` whose required-path set contains it.
+
+        The per-message fullness update of the Maximal-Consistency condition
+        walks this list (typically shorter than the thread count) instead of
+        testing the path against every thread's required set.
+        """
+        cached = self._required_index.get(node)
+        if cached is None:
+            mapping: Dict[int, List[FaultSet]] = {}
+            for fault_set in self.fault_candidates[node]:
+                for path_id in self.required_path_ids(node, fault_set):
+                    entry = mapping.get(path_id)
+                    if entry is None:
+                        mapping[path_id] = [fault_set]
+                    else:
+                        entry.append(fault_set)
+            cached = {path_id: tuple(entry) for path_id, entry in mapping.items()}
+            self._required_index[node] = cached
+        return cached
 
     def reach(self, node: NodeId, fault_set: FaultSet) -> FrozenSet[NodeId]:
         """``reach_node(F)`` (Definition 2), memoised on the canonical mask."""

@@ -23,7 +23,7 @@ Public surface
     (Table 1).
 """
 
-from repro.graphs.bitset import BitsetIndex, iter_bits, popcount
+from repro.graphs.bitset import BitsetIndex, PathCodec, iter_bits, popcount
 from repro.graphs.digraph import DiGraph
 from repro.graphs.generators import (
     bidirected_complete,
@@ -102,6 +102,7 @@ from repro.graphs.reach import (
 __all__ = [
     "BitsetIndex",
     "DiGraph",
+    "PathCodec",
     "iter_bits",
     "popcount",
     # generators

@@ -37,6 +37,7 @@ adjacency masks — not the whole graph object — to worker processes.
 
 from __future__ import annotations
 
+from itertools import combinations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.graphs.digraph import DiGraph, Node
@@ -59,6 +60,49 @@ def iter_bits(mask: int) -> Iterable[int]:
         low = mask & -mask
         yield low.bit_length() - 1
         mask ^= low
+
+
+def has_f_cover_masks(masks: Sequence[int], f: int) -> bool:
+    """Existence of an f-cover (Definition 4) over mask-encoded path sets.
+
+    ``masks[i]`` is the member mask of path ``i`` *restricted to candidate
+    cover nodes* (forbidden nodes already cleared by the caller).  Mirrors
+    :func:`repro.graphs.paths.find_f_cover` exactly:
+
+    * the empty path set is vacuously coverable;
+    * a path with no candidate member can never be covered;
+    * ``f = 0`` cannot cover a non-empty path set;
+    * one node covers everything iff the AND of all masks is non-zero;
+    * larger covers are an exact search over candidate-bit combinations
+      (``f ≤ 2`` in every workload the paper discusses).
+    """
+    if not masks:
+        return True
+    union = 0
+    for mask in masks:
+        if not mask:
+            return False
+        union |= mask
+    if f == 0:
+        return False
+    common = masks[0]
+    for mask in masks:
+        common &= mask
+        if not common:
+            break
+    if common:
+        return True
+    if f == 1:
+        return False
+    bits = [1 << i for i in iter_bits(union)]
+    for size in range(2, min(f, len(bits)) + 1):
+        for combo in combinations(bits, size):
+            combo_mask = 0
+            for bit in combo:
+                combo_mask |= bit
+            if all(mask & combo_mask for mask in masks):
+                return True
+    return False
 
 
 def _closure_masks(adj: Sequence[int], allowed_mask: int, n: int) -> List[int]:
@@ -144,6 +188,91 @@ def _closure_masks(adj: Sequence[int], allowed_mask: int, n: int) -> List[int]:
                     bits ^= low
                     closure[low.bit_length() - 1] = reach
     return closure
+
+
+class PathCodec:
+    """Codec turning propagation paths into ``(origin, member-mask, path)``.
+
+    The hot loops of the Byzantine-Witness algorithm test paths against node
+    sets millions of times: Definition 7 exclusion asks "does this path avoid
+    the candidate fault set?", Verify asks "is this path inside the reach
+    set?".  With every path carrying a *member mask* — the OR of its hops'
+    bits — both collapse to one integer AND.
+
+    The codec starts from a node → bit mapping (usually a copy of a
+    :class:`BitsetIndex`'s, so masks are interchangeable with engine masks)
+    and **interns unknown nodes on demand** at bit positions beyond the
+    graph: a Byzantine sender may forge path hops that are not graph nodes,
+    and those must still encode deterministically.  Because fault sets and
+    reach sets only ever contain graph nodes, forged bits can never collide
+    with an exclusion or reach mask — a path with a forged hop simply never
+    tests as "inside" any graph-node set, which is exactly the semantics the
+    tuple-level code had.
+    """
+
+    __slots__ = ("index", "_next_bit")
+
+    def __init__(self, index: Optional[Dict[Node, int]] = None) -> None:
+        #: private copy: interning forged nodes must never leak into the
+        #: engine's node ↔ bit mapping.
+        self.index: Dict[Node, int] = dict(index) if index else {}
+        self._next_bit = max(self.index.values()) + 1 if self.index else 0
+
+    @classmethod
+    def for_engine(cls, engine: "BitsetIndex") -> "PathCodec":
+        """A codec whose graph-node bits coincide with ``engine``'s."""
+        return cls(engine.index)
+
+    def bit(self, node: Node) -> int:
+        """The bit position of ``node``, interning it when unseen."""
+        position = self.index.get(node)
+        if position is None:
+            position = self._next_bit
+            self.index[node] = position
+            self._next_bit += 1
+        return position
+
+    def member_mask(self, path: Iterable[Node]) -> int:
+        """OR of the bits of every hop of ``path`` (interning new hops)."""
+        mask = 0
+        index = self.index
+        for node in path:
+            position = index.get(node)
+            if position is None:
+                position = self._next_bit
+                index[node] = position
+                self._next_bit += 1
+            mask |= 1 << position
+        return mask
+
+    def encode(self, path: Sequence[Node]) -> Tuple[Node, int, Tuple[Node, ...]]:
+        """``path → (origin, member-mask, path-tuple)`` (the full codec)."""
+        path = tuple(path)
+        if not path:
+            raise ValueError("cannot encode an empty path")
+        return path[0], self.member_mask(path), path
+
+    def mask_of(self, nodes: Iterable[Node], only_known: bool = False) -> int:
+        """Bitmask of a node collection.
+
+        With ``only_known`` unknown nodes are skipped instead of interned —
+        the right mode for *exclusion* masks, where a node this codec has
+        never seen cannot possibly appear on any encoded path.
+        """
+        mask = 0
+        index = self.index
+        if only_known:
+            for node in nodes:
+                position = index.get(node)
+                if position is not None:
+                    mask |= 1 << position
+        else:
+            for node in nodes:
+                mask |= 1 << self.bit(node)
+        return mask
+
+    def __repr__(self) -> str:
+        return f"<PathCodec nodes={len(self.index)}>"
 
 
 class BitsetIndex:

@@ -39,7 +39,22 @@ shards cells across a ``multiprocessing`` pool in chunked batches), write
 the result with :func:`~repro.runner.artifacts.write_artifact`, and gate a
 regenerated artifact against a committed baseline with
 :func:`~repro.runner.artifacts.compare`.  The ``python -m repro.runner``
-CLI (:mod:`repro.runner.cli`) wraps exactly that pipeline.
+CLI (:mod:`repro.runner.cli`) wraps exactly that pipeline, and its
+``profile`` subcommand cProfiles one scenario with a per-phase breakdown.
+
+**Chunking heuristic.**  Sharded runs split the cell list into pool tasks of
+``chunk_size`` cells; the CLI exposes it as ``run --chunk-size N``.  The
+default is ``ceil(cells / (workers * 4))`` — about four batches per worker,
+which amortizes IPC per task while leaving enough batches for the pool to
+rebalance when cell durations are skewed.  Cells are dispatched grouped by
+``(topology, f, algorithm)`` so a chunk rarely spans topologies, letting the
+per-worker topology cache (:func:`~repro.runner.scenarios.cached_graph` /
+:func:`~repro.runner.scenarios.cached_topology_knowledge`, pre-warmed in the
+parent before forking) build each topology's precomputation at most once per
+worker.  Pass an explicit ``--chunk-size`` when cells are extremely uneven
+(smaller chunks rebalance better) or extremely cheap (larger chunks cut IPC).
+Results are re-folded in cell-index order, so chunking never changes the
+artifact.
 """
 
 from repro.runner.artifacts import (

@@ -1,6 +1,6 @@
 """``python -m repro.runner`` — the sweep orchestration command line.
 
-Three subcommands drive the whole experiment surface:
+Four subcommands drive the whole experiment surface:
 
 ``list``
     Show every registered scenario with its grid sizes and paper artefact.
@@ -11,6 +11,10 @@ Three subcommands drive the whole experiment surface:
 ``compare``
     Diff a freshly generated artifact against a stored baseline and exit
     nonzero on drift — the regression gate CI builds on.
+``profile``
+    cProfile one scenario run with a per-phase wall-clock breakdown
+    (expansion / topology precomputation / cell execution) — the entry
+    point for hot-path investigations.
 
 Examples
 --------
@@ -20,20 +24,30 @@ Examples
     python -m repro.runner run --scenario figure1b --workers 4 --quick
     python -m repro.runner compare benchmarks/baselines/figure1b.quick.json \\
         benchmarks/results/figure1b.quick.json
+    python -m repro.runner profile --scenario definition1 --quick --top 15
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import pathlib
+import pstats
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from repro.exceptions import ReproError
 from repro.runner.artifacts import compare_files, write_artifact
 from repro.runner.harness import SweepEngine
 from repro.runner.reporting import format_table, render_sweep_groups
-from repro.runner.scenarios import SCENARIOS, get_scenario
+from repro.runner.scenarios import (
+    SCENARIOS,
+    clear_worker_caches,
+    get_scenario,
+    warm_worker_caches,
+)
 
 #: Default artifact directory (relative to the invocation directory).
 DEFAULT_OUTPUT_DIR = pathlib.Path("benchmarks") / "results"
@@ -105,6 +119,43 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="X",
         help="tolerated absolute mean-round drift per group (default: 0)",
     )
+
+    profile_parser = commands.add_parser(
+        "profile", help="cProfile a scenario run with per-phase timings"
+    )
+    profile_parser.add_argument(
+        "--scenario", required=True, metavar="NAME", help="scenario to profile (see 'list')"
+    )
+    profile_parser.add_argument(
+        "--quick", action="store_true", help="profile the reduced CI grid"
+    )
+    profile_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default: 1; >1 mostly profiles pool waits)",
+    )
+    profile_parser.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        metavar="N",
+        help="number of profile rows to print (default: 20)",
+    )
+    profile_parser.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime", "calls"),
+        default="cumulative",
+        help="pstats sort order (default: cumulative)",
+    )
+    profile_parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="also dump the raw pstats file here (for snakeviz etc.)",
+    )
     return parser
 
 
@@ -156,6 +207,57 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile one scenario run, reporting per-phase wall-clock first.
+
+    Phases: grid expansion, topology precomputation (the worker-cache
+    warm-up, forced here so it is attributed separately), and cell
+    execution.  The cache is cleared first so the run profiles a cold
+    start — what a fresh worker pays — rather than whatever this process
+    happened to have warm.
+    """
+    scenario = get_scenario(args.scenario)
+    spec = scenario.grid(quick=args.quick)
+    engine = SweepEngine(workers=args.workers)
+    clear_worker_caches()
+
+    phases = []
+    start = time.perf_counter()
+    cells = spec.expand()
+    phases.append(("expand", time.perf_counter() - start, f"{len(cells)} cells"))
+
+    start = time.perf_counter()
+    warm_worker_caches(spec, cells)
+    phases.append(
+        ("precompute", time.perf_counter() - start, "graphs + topology knowledge")
+    )
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    result = engine.run(spec)
+    profiler.disable()
+    phases.append(("execute", time.perf_counter() - start, f"workers={args.workers}"))
+
+    total = sum(seconds for _, seconds, _ in phases)
+    rows = [
+        [name, f"{seconds:.4f}", f"{(seconds / total * 100 if total else 0):.1f}%", note]
+        for name, seconds, note in phases
+    ]
+    print(format_table(["phase", "seconds", "share", "detail"], rows))
+    rate = len(result.cells) / result.wall_seconds if result.wall_seconds else float("inf")
+    print(f"\n{spec.name}: {len(result.cells)} cells, {rate:.1f} cells/s\n")
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    if args.output is not None:
+        stats.dump_stats(str(args.output))
+        print(f"raw profile -> {args.output}")
+    buffer = io.StringIO()
+    pstats.Stats(profiler, stream=buffer).sort_stats(args.sort).print_stats(args.top)
+    print(buffer.getvalue())
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     report = compare_files(
         args.baseline,
@@ -178,6 +280,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "compare":
             return _cmd_compare(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -76,6 +76,19 @@ def _outcome_from_processes(
     )
 
 
+def _all_decided_predicate(honest_processes):
+    """Stop predicate: every honest process decided (plain loop — it runs
+    once per delivered event)."""
+
+    def all_honest_decided() -> bool:
+        for process in honest_processes:
+            if not process.decided:
+                return False
+        return True
+
+    return all_honest_decided
+
+
 def run_bw_experiment(
     graph: DiGraph,
     inputs: Mapping[NodeId, float],
@@ -96,11 +109,8 @@ def run_bw_experiment(
     wrapped = plan.apply(processes)
     simulator = Simulator(graph, delay_model or UniformDelay(0.5, 2.0), seed=seed)
     simulator.add_processes(wrapped.values())
-    honest_nodes = plan.nonfaulty(graph.nodes)
-    simulator.run(
-        max_events=max_events,
-        stop_when=lambda: all(processes[node].decided for node in honest_nodes),
-    )
+    honest = [processes[node] for node in plan.nonfaulty(graph.nodes)]
+    simulator.run(max_events=max_events, stop_when=_all_decided_predicate(honest))
     return _outcome_from_processes(
         "byzantine-witness", graph, config, plan, inputs, processes, simulator, behavior_name, seed
     )
@@ -124,11 +134,8 @@ def run_clique_experiment(
     wrapped = plan.apply(processes)
     simulator = Simulator(graph, delay_model or UniformDelay(0.5, 2.0), seed=seed)
     simulator.add_processes(wrapped.values())
-    honest_nodes = plan.nonfaulty(graph.nodes)
-    simulator.run(
-        max_events=max_events,
-        stop_when=lambda: all(processes[node].decided for node in honest_nodes),
-    )
+    honest = [processes[node] for node in plan.nonfaulty(graph.nodes)]
+    simulator.run(max_events=max_events, stop_when=_all_decided_predicate(honest))
     return _outcome_from_processes(
         "clique-baseline", graph, config, plan, inputs, processes, simulator, behavior_name, seed
     )
@@ -153,11 +160,8 @@ def run_crash_experiment(
     wrapped = plan.apply(processes)
     simulator = Simulator(graph, delay_model or UniformDelay(0.5, 2.0), seed=seed)
     simulator.add_processes(wrapped.values())
-    honest_nodes = plan.nonfaulty(graph.nodes)
-    simulator.run(
-        max_events=max_events,
-        stop_when=lambda: all(processes[node].decided for node in honest_nodes),
-    )
+    honest = [processes[node] for node in plan.nonfaulty(graph.nodes)]
+    simulator.run(max_events=max_events, stop_when=_all_decided_predicate(honest))
     return _outcome_from_processes(
         "crash-tolerant", graph, config, plan, inputs, processes, simulator, behavior_name, seed
     )

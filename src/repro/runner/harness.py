@@ -456,7 +456,9 @@ class SweepEngine:
         ``workers > 1``; it defaults to the scenario registry's
         :func:`~repro.runner.scenarios.run_cell`.
         """
-        runner = runner or _default_runner()
+        default_runner = _default_runner()
+        using_default = runner is None or runner is default_runner
+        runner = runner or default_runner
         cells = spec.expand()
         start = time.perf_counter()
         results: List[CellResult] = []
@@ -470,12 +472,30 @@ class SweepEngine:
             for cell in cells:
                 fold(runner(spec, cell))
         else:
+            if using_default:
+                # Build every needed topology object once in the parent so
+                # fork-based workers inherit them copy-on-write instead of
+                # each rebuilding the expensive precomputation.
+                from repro.runner.scenarios import warm_worker_caches
+
+                warm_worker_caches(spec, cells)
             chunk = self.chunk_size or max(1, math.ceil(len(cells) / (self.workers * 4)))
+            # Dispatch same-topology cells contiguously so each chunk — and
+            # therefore each worker — builds a topology's graph / bitmask
+            # index / TopologyKnowledge at most once (the worker-global cache
+            # in repro.runner.scenarios keeps them warm across its chunks).
+            # Results are re-sorted into cell-index order before folding, so
+            # the artifact stays byte-identical to the serial run.
+            dispatch_order = sorted(
+                cells, key=lambda cell: (cell.topology.label, cell.f, cell.algorithm, cell.index)
+            )
             with multiprocessing.Pool(processes=self.workers) as pool:
-                # ``imap`` (not ``imap_unordered``) keeps index order, which
-                # makes the incremental aggregation order-deterministic.
-                for result in pool.imap(functools.partial(runner, spec), cells, chunksize=chunk):
-                    fold(result)
+                collected = list(
+                    pool.imap(functools.partial(runner, spec), dispatch_order, chunksize=chunk)
+                )
+            collected.sort(key=lambda result: result.index)
+            for result in collected:
+                fold(result)
         wall = time.perf_counter() - start
         return SweepRunResult(
             spec=spec,

@@ -21,7 +21,10 @@ small tuples of primitives and a sharded run needs nothing unpicklable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Hashable, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algorithms.topology import TopologyKnowledge
 
 from repro.adversary.adversary import FaultPlan
 from repro.adversary.behaviors import HonestBehavior, STANDARD_BEHAVIOR_FACTORIES
@@ -92,6 +95,104 @@ def build_topology(spec: TopologySpec) -> DiGraph:
 
 
 # ----------------------------------------------------------------------
+# per-worker topology memoisation
+# ----------------------------------------------------------------------
+# Rebuilding a topology's precomputation per *cell* — the DiGraph, its shared
+# BitsetIndex, and above all the TopologyKnowledge redundant-path enumeration
+# — used to dominate sweep time (and made a 2-worker sharded run *slower*
+# than serial).  Cells are pure functions of their spec, so the expensive
+# objects only depend on (topology recipe, f, path policy): they are cached
+# process-globally and thereby once per worker.  SweepEngine groups
+# same-topology cells into the same pool chunk so each worker pays each
+# build at most once.  Caching is invisible in the results: cell outcomes
+# depend only on the cell's derived seed and the (deterministic) topology.
+
+_GRAPH_CACHE: Dict[TopologySpec, DiGraph] = {}
+_KNOWLEDGE_CACHE: Dict[Tuple[TopologySpec, int, str], "TopologyKnowledge"] = {}
+#: Bound on either cache: big nightly grids sweep hundreds of topologies and
+#: must not hold every graph alive; oldest entries are evicted first.
+WORKER_CACHE_LIMIT = 64
+
+
+def _bounded_put(cache: Dict, key, value) -> None:
+    if len(cache) >= WORKER_CACHE_LIMIT:
+        cache.pop(next(iter(cache)))  # insertion order: evict the oldest
+    cache[key] = value
+
+
+def cached_graph(spec: TopologySpec) -> DiGraph:
+    """The worker-cached :class:`DiGraph` of a topology spec.
+
+    The graph instance also carries its shared
+    :class:`~repro.graphs.bitset.BitsetIndex`, so reach/SCC memos warm up
+    across every cell of the same topology.
+    """
+    graph = _GRAPH_CACHE.get(spec)
+    if graph is None:
+        graph = build_topology(spec)
+        _bounded_put(_GRAPH_CACHE, spec, graph)
+    return graph
+
+
+def cached_topology_knowledge(
+    spec: TopologySpec, f: int, path_policy: str
+) -> "TopologyKnowledge":
+    """Worker-cached :class:`~repro.algorithms.topology.TopologyKnowledge`.
+
+    Keyed on ``(topology recipe, f, path policy)`` — everything the
+    precomputation depends on.  The knowledge shares the graph from
+    :func:`cached_graph`, so its engine and reach caches are shared too.
+    """
+    from repro.algorithms.topology import TopologyKnowledge
+
+    key = (spec, f, path_policy)
+    knowledge = _KNOWLEDGE_CACHE.get(key)
+    if knowledge is None:
+        knowledge = TopologyKnowledge(cached_graph(spec), f, path_policy)
+        _bounded_put(_KNOWLEDGE_CACHE, key, knowledge)
+    return knowledge
+
+
+def warm_worker_caches(spec: GridSpec, cells: List[SweepCell]) -> None:
+    """Pre-build every topology object the cells of ``spec`` will need.
+
+    Called by :class:`~repro.runner.harness.SweepEngine` in the parent
+    process *before* forking the worker pool: on fork-based platforms the
+    children then share the graphs, bitmask indexes and TopologyKnowledge
+    (including the eager fullness machinery forced here) via copy-on-write
+    instead of each worker rebuilding them.  On spawn platforms the call is
+    wasted-but-harmless parent work.
+    """
+    seen = set()
+    for cell in cells:
+        cached_graph(cell.topology)
+        if cell.algorithm in ("bw", "crash"):
+            policy = spec.path_policy if cell.algorithm == "bw" else "simple"
+            key = (cell.topology, cell.f, policy)
+            if key in seen:
+                continue
+            seen.add(key)
+            knowledge = cached_topology_knowledge(*key)
+            if cell.algorithm == "bw":
+                # The eager fullness machinery (required paths + reverse
+                # index) is a BW-only structure; the crash baseline reads
+                # just fault_candidates and the lazily-warmed reach cache.
+                for node in knowledge.nodes:
+                    knowledge.required_index(node)
+
+
+def worker_cache_stats() -> Dict[str, int]:
+    """Sizes of this process's topology caches (diagnostics)."""
+    return {"graphs": len(_GRAPH_CACHE), "knowledge": len(_KNOWLEDGE_CACHE)}
+
+
+def clear_worker_caches() -> None:
+    """Drop the process-global topology caches (tests / cold-start benches)."""
+    _GRAPH_CACHE.clear()
+    _KNOWLEDGE_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
 # behaviour registries
 # ----------------------------------------------------------------------
 #: Asynchronous (message-intercepting) behaviours, by name.
@@ -159,7 +260,7 @@ CHECK_ALGORITHMS = ("check-reach", "check-table1", "check-table2", "check-necess
 
 def run_cell(spec: GridSpec, cell: SweepCell) -> CellResult:
     """Execute one sweep cell; the engine's default (picklable) cell runner."""
-    graph = build_topology(cell.topology)
+    graph = cached_graph(cell.topology)
     if cell.algorithm in CHECK_ALGORITHMS:
         return _run_check_cell(spec, cell, graph)
     if cell.algorithm in CONSENSUS_ALGORITHMS:
@@ -213,15 +314,29 @@ def _run_consensus_cell(spec: GridSpec, cell: SweepCell, graph: DiGraph) -> Cell
     plan = FaultPlan(faulty, lambda node: factory(), seed=cell.derived_seed)
     if cell.algorithm == "bw":
         outcome = run_bw_experiment(
-            graph, inputs, config, plan, seed=cell.derived_seed, behavior_name=cell.behavior
+            graph,
+            inputs,
+            config,
+            plan,
+            seed=cell.derived_seed,
+            topology=cached_topology_knowledge(cell.topology, cell.f, spec.path_policy),
+            behavior_name=cell.behavior,
         )
     elif cell.algorithm == "clique":
         outcome = run_clique_experiment(
             graph, inputs, config, plan, seed=cell.derived_seed, behavior_name=cell.behavior
         )
     else:
+        # The crash baseline only uses simple-path machinery regardless of
+        # the grid's flooding policy (crash faults never lie).
         outcome = run_crash_experiment(
-            graph, inputs, config, plan, seed=cell.derived_seed, behavior_name=cell.behavior
+            graph,
+            inputs,
+            config,
+            plan,
+            seed=cell.derived_seed,
+            topology=cached_topology_knowledge(cell.topology, cell.f, "simple"),
+            behavior_name=cell.behavior,
         )
     return CellResult.from_outcome(cell, graph, outcome)
 
@@ -658,9 +773,15 @@ __all__ = [
     "SYNC_BYZANTINE_VALUES",
     "Scenario",
     "TOPOLOGY_FAMILIES",
+    "WORKER_CACHE_LIMIT",
     "build_topology",
+    "cached_graph",
+    "cached_topology_knowledge",
+    "clear_worker_caches",
+    "warm_worker_caches",
     "get_scenario",
     "resolve_placement",
     "run_cell",
     "scenario_names",
+    "worker_cache_stats",
 ]

@@ -74,6 +74,24 @@ class TestInProcess:
         assert code == 2
         assert "unknown scenario" in capsys.readouterr().err
 
+    def test_profile_reports_phases_and_top_functions(self, tmp_path, capsys):
+        raw = tmp_path / "profile.pstats"
+        code = main(
+            ["profile", "--scenario", "figure1a", "--quick", "--top", "5",
+             "--sort", "tottime", "--output", str(raw)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for phase in ("expand", "precompute", "execute"):
+            assert phase in out
+        assert "cells/s" in out
+        assert "ncalls" in out  # the pstats table made it to stdout
+        assert raw.exists()
+
+    def test_profile_unknown_scenario_is_a_clean_error(self, capsys):
+        assert main(["profile", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
 
 class TestSubprocess:
     """One true ``python -m repro.runner`` invocation end to end."""
