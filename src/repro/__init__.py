@@ -17,6 +17,13 @@ Quickstart
 >>> outcome.epsilon_agreement and outcome.validity
 True
 
+The curated, versioned import surface is :mod:`repro.api` — sweep grids,
+the scenario-file loaders, artifact helpers, and the plugin registries
+(register a custom topology family, Byzantine behaviour, placement,
+algorithm or delay model by name and sweep it like the built-ins)::
+
+    from repro.api import API_VERSION, GridSpec, SweepEngine, TOPOLOGIES
+
 See ``examples/`` for richer scenarios and ``benchmarks/`` for the
 table/figure reproductions.
 """

@@ -268,3 +268,106 @@ STANDARD_BEHAVIOR_FACTORIES = {
     "offset": lambda: OffsetValueBehavior(25.0),
     "tamper-complete": lambda: CompleteTamperBehavior(-500.0),
 }
+
+
+# ----------------------------------------------------------------------
+# registry: behaviours addressable by name (optionally parametrized) from
+# grid axes and scenario files, e.g. behavior="offset:2.5"
+# ----------------------------------------------------------------------
+def _sync_constant(value: float):
+    """Synchronous-model equivalent of a fixed-value lie."""
+
+    def report(node, round_index, receiver, honest_value) -> float:
+        return value
+
+    return report
+
+
+def _sync_offset(offset: float):
+    """Synchronous-model equivalent of a constant additive bias."""
+
+    def report(node, round_index, receiver, honest_value) -> float:
+        return honest_value + offset
+
+    return report
+
+
+def _register_behaviors() -> None:
+    from repro.registry import BEHAVIORS
+
+    def entry(name, factory, summary, params=(), min_params=0, sync=None):
+        metadata = {"params": tuple(params), "min_params": min_params}
+        if sync is not None:
+            metadata["sync"] = sync
+        BEHAVIORS.register(name, factory, summary=summary, metadata=metadata)
+
+    entry(
+        "honest",
+        lambda: HonestBehavior(),
+        "forward everything unchanged (control)",
+        sync=lambda: None,  # None = the faulty nodes report honestly
+    )
+    entry("crash", lambda: CrashBehavior(), "send nothing at all (crash from the start)")
+    entry(
+        "crash-after",
+        lambda honest_sends: CrashAfterBehavior(int(honest_sends)),
+        "behave honestly for N transmissions, then crash",
+        params=("honest_sends",),
+        min_params=1,
+    )
+    entry(
+        "fixed-high",
+        lambda value=1e6: FixedValueBehavior(value),
+        "always report an extreme high value",
+        params=("value",),
+        sync=lambda value=1e6: _sync_constant(value),
+    )
+    entry(
+        "fixed-low",
+        lambda value=-1e6: FixedValueBehavior(value),
+        "always report an extreme low value",
+        params=("value",),
+        sync=lambda value=-1e6: _sync_constant(value),
+    )
+    entry(
+        "fixed",
+        lambda value: FixedValueBehavior(value),
+        "always report the given value",
+        params=("value",),
+        min_params=1,
+        sync=lambda value: _sync_constant(value),
+    )
+    entry(
+        "random",
+        lambda low=-1e3, high=1e3: RandomValueBehavior(low, high),
+        "report uniform random values in [low, high]",
+        params=("low", "high"),
+    )
+    entry(
+        "equivocate",
+        lambda offset=50.0: EquivocateBehavior(default_offset=offset),
+        "tell different stories to different receivers",
+        params=("offset",),
+    )
+    entry(
+        "offset",
+        lambda offset=25.0: OffsetValueBehavior(offset),
+        "add a constant bias to every reported value",
+        params=("offset",),
+        sync=lambda offset=25.0: _sync_offset(offset),
+    )
+    entry(
+        "tamper-complete",
+        lambda value=-500.0: CompleteTamperBehavior(value),
+        "forge the BW COMPLETE announcements' value maps",
+        params=("value",),
+    )
+    entry(
+        "replay",
+        lambda copies=2: ReplayBehavior(int(copies)),
+        "duplicate every message N times",
+        params=("copies",),
+    )
+
+
+_register_behaviors()

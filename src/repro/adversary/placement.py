@@ -91,6 +91,23 @@ def place_bridge_nodes(graph: DiGraph, f: int) -> FrozenSet[NodeId]:
     return frozenset(chosen)
 
 
+def place_last(graph: DiGraph, f: int) -> FrozenSet[NodeId]:
+    """Corrupt the ``f`` last nodes in label order (deterministic, seed-free).
+
+    Integer labels sort numerically (repr order would put 10 before 2);
+    everything else falls back to repr order, mixed universes last.
+    """
+    if f < 0:
+        raise AdversaryError("f must be non-negative")
+
+    def order(node: NodeId):
+        if isinstance(node, bool) or not isinstance(node, int):
+            return (1, 0, repr(node))
+        return (0, node, "")
+
+    return frozenset(sorted(graph.nodes, key=order)[-f:]) if f else frozenset()
+
+
 def all_fault_sets(graph: DiGraph, f: int, max_sets: Optional[int] = None) -> List[FrozenSet[NodeId]]:
     """Every faulty set of size exactly ``f`` (optionally truncated).
 
@@ -106,9 +123,36 @@ def all_fault_sets(graph: DiGraph, f: int, max_sets: Optional[int] = None) -> Li
     return sets
 
 
+#: Every named strategy under one signature ``(graph, f, seed) -> frozenset``.
+#: This is the single source the PLACEMENTS registry is populated from (and
+#: the historical public mapping).
 PLACEMENT_STRATEGIES = {
+    "none": lambda graph, f, seed=None: frozenset(),
     "random": place_random,
     "max-out-degree": lambda graph, f, seed=None: place_max_out_degree(graph, f),
     "max-in-degree": lambda graph, f, seed=None: place_max_in_degree(graph, f),
     "bridges": lambda graph, f, seed=None: place_bridge_nodes(graph, f),
+    "last": lambda graph, f, seed=None: place_last(graph, f),
 }
+
+_PLACEMENT_SUMMARIES = {
+    "none": "no faults (control runs)",
+    "random": "f faulty nodes chosen uniformly",
+    "max-out-degree": "corrupt the f most influential nodes (largest out-degree)",
+    "max-in-degree": "corrupt the f best-informed nodes (largest in-degree)",
+    "bridges": "greedily corrupt the nodes whose removal cuts the most reachability",
+    "last": "corrupt the f last nodes in label order (deterministic)",
+}
+
+
+# ----------------------------------------------------------------------
+# registry: strategies addressable by name from grid axes / scenario files
+# ----------------------------------------------------------------------
+def _register_placements() -> None:
+    from repro.registry import PLACEMENTS
+
+    for name, strategy in PLACEMENT_STRATEGIES.items():
+        PLACEMENTS.register(name, strategy, summary=_PLACEMENT_SUMMARIES[name])
+
+
+_register_placements()

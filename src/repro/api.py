@@ -1,0 +1,144 @@
+"""repro.api — the curated, versioned public surface of the library.
+
+Everything a downstream user (or plugin package) should need is re-exported
+here; internals are free to move as long as this module keeps working.
+:data:`API_VERSION` is bumped when anything in ``__all__`` changes
+incompatibly.
+
+The surface has four layers:
+
+**Registries** (:class:`Registry` and the five instances) — register custom
+topology families, Byzantine behaviours, fault placements, algorithms and
+delay models by name; grids and scenario TOML files then reference them like
+the built-ins::
+
+    from repro.api import BEHAVIORS, TOPOLOGIES
+
+    @TOPOLOGIES.register("double-star")
+    def double_star(n: int) -> DiGraph: ...
+
+    BEHAVIORS.register("stutter", lambda copies=2: ReplayBehavior(int(copies)),
+                       metadata={"params": ("copies",), "min_params": 0})
+
+**Sweeps** — :class:`GridSpec` (declarative grids over algorithm × topology
+× f × behaviour × placement × seed), :class:`SweepEngine` / :func:`run_grid`
+(serial or sharded execution with byte-identical artifacts), and
+:class:`Scenario` with the TOML loaders from
+:mod:`repro.runner.scenario_files`.
+
+**Single executions** — :class:`ConsensusConfig`, :func:`run_bw_experiment`
+and the baseline drivers, plus :func:`quick_consensus` for one-liners.
+
+**Artifacts** — :func:`write_artifact` / :func:`load_artifact` /
+:func:`compare` for the canonical JSON documents CI gates on.
+"""
+
+from __future__ import annotations
+
+from repro import quick_consensus
+from repro.algorithms.base import ConsensusConfig
+from repro.exceptions import (
+    ReproError,
+    ScenarioFileError,
+    UnknownPluginError,
+)
+from repro.graphs.digraph import DiGraph
+from repro.registry import (
+    ALGORITHMS,
+    ALL_REGISTRIES,
+    API_VERSION,
+    BEHAVIORS,
+    DELAYS,
+    PLACEMENTS,
+    TOPOLOGIES,
+    Registry,
+    RegistryEntry,
+    parse_plugin_spec,
+)
+from repro.runner.algorithms import AlgorithmSpec
+from repro.runner.artifacts import (
+    ComparisonReport,
+    compare,
+    compare_files,
+    load_artifact,
+    write_artifact,
+)
+from repro.runner.experiment import (
+    run_bw_experiment,
+    run_clique_experiment,
+    run_crash_experiment,
+    run_iterative_experiment,
+    run_local_average_experiment,
+)
+from repro.runner.harness import (
+    NOT_APPLICABLE,
+    CellResult,
+    GridSpec,
+    GroupAggregate,
+    SweepCell,
+    SweepEngine,
+    SweepRunResult,
+    TopologySpec,
+    run_grid,
+)
+from repro.runner.scenario_files import (
+    Scenario,
+    dump_scenario_toml,
+    load_scenario_file,
+    load_scenario_text,
+)
+from repro.runner.scenarios import SCENARIOS, get_scenario, run_cell, scenario_names
+
+__all__ = [
+    # versioning
+    "API_VERSION",
+    # registries
+    "ALGORITHMS",
+    "ALL_REGISTRIES",
+    "BEHAVIORS",
+    "DELAYS",
+    "PLACEMENTS",
+    "TOPOLOGIES",
+    "Registry",
+    "RegistryEntry",
+    "AlgorithmSpec",
+    "parse_plugin_spec",
+    # errors
+    "ReproError",
+    "ScenarioFileError",
+    "UnknownPluginError",
+    # graphs + sweeps
+    "DiGraph",
+    "NOT_APPLICABLE",
+    "CellResult",
+    "GridSpec",
+    "GroupAggregate",
+    "SweepCell",
+    "SweepEngine",
+    "SweepRunResult",
+    "TopologySpec",
+    "run_cell",
+    "run_grid",
+    # scenarios
+    "SCENARIOS",
+    "Scenario",
+    "dump_scenario_toml",
+    "get_scenario",
+    "load_scenario_file",
+    "load_scenario_text",
+    "scenario_names",
+    # single executions
+    "ConsensusConfig",
+    "quick_consensus",
+    "run_bw_experiment",
+    "run_clique_experiment",
+    "run_crash_experiment",
+    "run_iterative_experiment",
+    "run_local_average_experiment",
+    # artifacts
+    "ComparisonReport",
+    "compare",
+    "compare_files",
+    "load_artifact",
+    "write_artifact",
+]

@@ -76,3 +76,48 @@ class ExperimentError(ReproError):
 
 class ArtifactError(ExperimentError):
     """Raised when a sweep artifact is missing, malformed or incompatible."""
+
+
+class RegistryError(ReproError):
+    """Raised on invalid registry mutations (duplicate name, frozen registry)."""
+
+
+class UnknownPluginError(ExperimentError, KeyError):
+    """An extension name (topology, behaviour, placement, algorithm, delay)
+    is not registered.
+
+    Subclasses both :class:`ExperimentError` (so sweep callers catching
+    library errors keep working) and :class:`KeyError` (so registry lookups
+    behave like mapping access).  Raised eagerly at
+    :meth:`~repro.runner.harness.GridSpec.expand` time — before any worker
+    pool forks — with a did-you-mean suggestion and the full list of valid
+    registered names.
+    """
+
+    def __init__(self, kind: str, name: object, known=(), suggestion=None, plural=None) -> None:
+        hint = f" (did you mean {suggestion!r}?)" if suggestion else ""
+        listing = ", ".join(known) if known else "<none registered>"
+        plural = plural or f"{kind}s"
+        super().__init__(f"unknown {kind} {name!r}{hint}; registered {plural}: {listing}")
+        self.kind = kind
+        self.name = name
+        self.known = tuple(known)
+        self.suggestion = suggestion
+        self.plural = plural
+
+    def __str__(self) -> str:  # undo KeyError's repr-of-args formatting
+        return self.args[0]
+
+    def __reduce__(self):
+        # Exception's default reduce replays ``args`` (the formatted message)
+        # into ``__init__``, which takes structured arguments — make the
+        # error survive the worker -> parent pickle hop of sharded sweeps.
+        return (
+            type(self),
+            (self.kind, self.name, self.known, self.suggestion, self.plural),
+        )
+
+
+class ScenarioFileError(ExperimentError):
+    """Raised when a declarative scenario file is malformed or fails schema
+    validation."""

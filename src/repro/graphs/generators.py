@@ -379,3 +379,34 @@ def relabel(graph: DiGraph, mapping) -> DiGraph:
     for u, v in graph.edges:
         result.add_edge(rename[u], rename[v])
     return result
+
+
+# ----------------------------------------------------------------------
+# registry: every family addressable by name from TopologySpec / TOML files
+# ----------------------------------------------------------------------
+def _register_topologies() -> None:
+    from repro.registry import TOPOLOGIES
+
+    for name, factory in (
+        ("clique", complete_digraph),
+        ("figure-1a", figure_1a),
+        ("figure-1b", figure_1b),
+        ("directed-cycle", directed_cycle),
+        ("bidirected-cycle", bidirected_cycle),
+        ("directed-path", directed_path),
+        ("star-out", star_out),
+        ("bidirected-star", bidirected_star),
+        ("wheel", bidirected_wheel),
+        ("undirected-complete", bidirected_complete),
+        ("random-bidirected", random_bidirected_graph),
+        ("random-digraph", random_digraph),
+        ("random-k-out", random_k_out_digraph),
+        ("two-cliques", two_cliques_bridged),
+        ("clique-with-feeders", clique_with_feeders),
+        ("layered-relay", layered_relay_digraph),
+        ("sensor-field", directed_sensor_field),
+    ):
+        TOPOLOGIES.register(name, factory)
+
+
+_register_topologies()

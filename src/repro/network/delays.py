@@ -149,3 +149,56 @@ class JitteredPerReceiverDelay(DelayModel):
 
     def describe(self) -> str:
         return f"jittered(base={self.base}, spread={self.spread})"
+
+
+# ----------------------------------------------------------------------
+# registry: delay models addressable by (optionally parametrized) name,
+# e.g. "uniform:0.5,2.0" or "constant:1.0"
+# ----------------------------------------------------------------------
+def make_delay(spec: str) -> DelayModel:
+    """Build a delay model from a ``name[:arg,...]`` plugin spec string."""
+    from repro.registry import DELAYS, parse_plugin_spec, validate_plugin_args
+
+    validate_plugin_args(DELAYS, spec)
+    name, args = parse_plugin_spec(spec)
+    return DELAYS.get(name)(*args)
+
+
+def _register_delays() -> None:
+    from repro.registry import DELAYS
+
+    def entry(name, factory, summary, params=(), min_params=0):
+        DELAYS.register(
+            name,
+            factory,
+            summary=summary,
+            metadata={"params": tuple(params), "min_params": min_params},
+        )
+
+    entry(
+        "constant",
+        lambda latency=1.0: ConstantDelay(latency),
+        "every transmission takes exactly `latency`",
+        params=("latency",),
+    )
+    entry(
+        "uniform",
+        lambda low=0.5, high=2.0: UniformDelay(low, high),
+        "latency uniform in [low, high] (the experiment default)",
+        params=("low", "high"),
+    )
+    entry(
+        "exponential",
+        lambda mean=1.0, minimum=0.05: ExponentialDelay(mean, minimum),
+        "latency minimum + Exp(mean) — heavy-ish tail",
+        params=("mean", "minimum"),
+    )
+    entry(
+        "jittered",
+        lambda base=0.5, spread=1.5: JitteredPerReceiverDelay(base, spread),
+        "deterministic per-receiver pace (no randomness)",
+        params=("base", "spread"),
+    )
+
+
+_register_delays()

@@ -14,21 +14,35 @@ sweep as the cross product of six axes plus shared execution parameters:
     seed (:func:`~repro.runner.harness.derive_cell_seed`), making results
     independent of execution order, sharding and worker count.
 ``algorithms``
-    Names resolved by :mod:`repro.runner.scenarios`: consensus drivers
-    (``"bw"``, ``"clique"``, ``"crash"``, ``"iterative"``,
+    Names resolved through the :data:`~repro.registry.ALGORITHMS` registry
+    (each an :class:`~repro.runner.algorithms.AlgorithmSpec`): consensus
+    drivers (``"bw"``, ``"clique"``, ``"crash"``, ``"iterative"``,
     ``"local-average"``) or condition checks (``"check-reach"``,
-    ``"check-table1"``, ``"check-table2"``, ``"check-necessity"``).
+    ``"check-table1"``, ``"check-table2"``, ``"check-necessity"``) — plus
+    anything registered by user code.
 ``topologies``
-    :class:`~repro.runner.harness.TopologySpec` entries — a graph-family
-    name plus construction parameters, e.g.
-    ``TopologySpec.make("clique", n=4)`` or
+    :class:`~repro.runner.harness.TopologySpec` entries — a
+    :data:`~repro.registry.TOPOLOGIES` family name plus construction
+    parameters, e.g.  ``TopologySpec.make("clique", n=4)`` or
     ``TopologySpec.make("two-cliques", clique_size=5, forward_bridges=2,
     backward_bridges=2)``.  Workers rebuild graphs locally from the spec.
 ``f_values`` / ``behaviors`` / ``placements`` / ``seeds``
-    Fault bounds, Byzantine behaviour names (see
-    ``scenarios.BEHAVIOR_FACTORIES``), fault-placement strategies
-    (``"random"``, ``"max-out-degree"``, ``"max-in-degree"``, ``"bridges"``,
-    ``"last"``, ``"none"``) and the user-facing seed axis.
+    Fault bounds, Byzantine behaviour specs resolved through
+    :data:`~repro.registry.BEHAVIORS` — a registered name, optionally
+    parametrized ``name:arg,...`` (``"offset:2.5"``) — fault-placement
+    strategies from :data:`~repro.registry.PLACEMENTS` (``"random"``,
+    ``"max-out-degree"``, ``"max-in-degree"``, ``"bridges"``, ``"last"``,
+    ``"none"``) and the user-facing seed axis.  Every referenced name is
+    validated at ``expand()`` time — before any worker pool forks — and an
+    unknown name raises :class:`~repro.exceptions.UnknownPluginError`
+    listing the registered alternatives (``python -m repro.runner list
+    --plugins`` shows them too).
+
+Grids also live declaratively on disk: the nine built-in scenarios are
+committed as TOML files under ``src/repro/runner/scenarios/`` (format in
+:mod:`repro.runner.scenario_files`) and user scenario files run via
+``python -m repro.runner run --scenario-file path.toml``.  The curated,
+versioned import surface for all of this is :mod:`repro.api`.
 ``epsilon`` / ``input_low`` / ``input_high`` / ``inputs`` / ``path_policy`` / ``rounds``
     Shared execution parameters: the agreement parameter, the known input
     range, the input generator (``"spread"`` or ``"random"``), the BW
@@ -104,9 +118,30 @@ from repro.runner.reporting import (
     render_sweep_groups,
     sweep_group_rows,
 )
-from repro.runner.scenarios import SCENARIOS, Scenario, get_scenario, run_cell, scenario_names
+from repro.runner.scenario_files import (
+    Scenario,
+    dump_scenario_toml,
+    load_scenario_file,
+    load_scenario_text,
+)
+from repro.runner.scenarios import SCENARIOS, get_scenario, run_cell, scenario_names
+from repro.runner.worker_cache import (
+    cached_graph,
+    cached_topology_knowledge,
+    clear_worker_caches,
+    warm_worker_caches,
+    worker_cache_stats,
+)
 
 __all__ = [
+    "dump_scenario_toml",
+    "load_scenario_file",
+    "load_scenario_text",
+    "cached_graph",
+    "cached_topology_knowledge",
+    "clear_worker_caches",
+    "warm_worker_caches",
+    "worker_cache_stats",
     "DEFAULT_MAX_EVENTS",
     "run_bw_experiment",
     "run_clique_experiment",

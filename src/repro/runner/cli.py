@@ -3,11 +3,18 @@
 Four subcommands drive the whole experiment surface:
 
 ``list``
-    Show every registered scenario with its grid sizes and paper artefact.
+    Show every registered scenario with its grid sizes, paper artefact and
+    grid-axis detail (topology families × behaviours × f values, derived
+    from the plugin registries).  ``--plugins`` lists every registered
+    extension instead: topology families, behaviours (with parameter
+    schemas), placements, algorithms and delay models.
 ``run``
-    Expand a named scenario's grid, execute it (optionally sharded across
-    worker processes), print the aggregate table and write the canonical
-    JSON artifact.  ``--quick`` selects the CI-sized grid.
+    Expand a scenario's grid — a registered name (``--scenario``) or a
+    declarative TOML file (``--scenario-file``) — execute it (optionally
+    sharded across worker processes), print the aggregate table and write
+    the canonical JSON artifact.  ``--quick`` selects the CI-sized grid;
+    ``--plugins MODULE`` imports a module first so it can register custom
+    extensions (topologies, behaviours, ...) for the run.
 ``compare``
     Diff a freshly generated artifact against a stored baseline and exit
     nonzero on drift — the regression gate CI builds on.
@@ -20,8 +27,9 @@ Examples
 --------
 ::
 
-    python -m repro.runner list
+    python -m repro.runner list --plugins
     python -m repro.runner run --scenario figure1b --workers 4 --quick
+    python -m repro.runner run --scenario-file my_sweep.toml
     python -m repro.runner compare benchmarks/baselines/figure1b.quick.json \\
         benchmarks/results/figure1b.quick.json
     python -m repro.runner profile --scenario definition1 --quick --top 15
@@ -31,17 +39,21 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import importlib
 import io
 import pathlib
 import pstats
 import sys
 import time
+from collections import Counter
 from typing import List, Optional, Sequence
 
 from repro.exceptions import ReproError
+from repro.registry import ALL_REGISTRIES
 from repro.runner.artifacts import compare_files, write_artifact
-from repro.runner.harness import SweepEngine
+from repro.runner.harness import NOT_APPLICABLE, GridSpec, SweepEngine
 from repro.runner.reporting import format_table, render_sweep_groups
+from repro.runner.scenario_files import Scenario, load_scenario_file
 from repro.runner.scenarios import (
     SCENARIOS,
     clear_worker_caches,
@@ -60,15 +72,39 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("list", help="list registered scenarios and their grid sizes")
+    list_parser = commands.add_parser(
+        "list", help="list registered scenarios (or, with --plugins, every extension)"
+    )
+    list_parser.add_argument(
+        "--plugins",
+        action="store_true",
+        help="list every registered extension (topologies, behaviours, placements, "
+        "algorithms, delay models) instead of scenarios",
+    )
 
     run_parser = commands.add_parser("run", help="run a scenario and write its JSON artifact")
     run_parser.add_argument(
         "--scenario",
         action="append",
-        required=True,
+        default=None,
         metavar="NAME",
-        help="scenario to run (repeatable; see 'list')",
+        help="registered scenario to run (repeatable; see 'list')",
+    )
+    run_parser.add_argument(
+        "--scenario-file",
+        action="append",
+        default=None,
+        type=pathlib.Path,
+        metavar="PATH",
+        help="declarative scenario TOML file to run (repeatable)",
+    )
+    run_parser.add_argument(
+        "--plugins",
+        action="append",
+        default=None,
+        metavar="MODULE",
+        help="import MODULE before running so it can register custom extensions "
+        "(repeatable; the module must be on PYTHONPATH)",
     )
     run_parser.add_argument(
         "--workers",
@@ -159,49 +195,103 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_list() -> int:
+def _axes_detail(spec: GridSpec) -> str:
+    """One-line grid-axis summary (topology families × behaviours × f).
+
+    Derived from the spec through the registries (the families are counted
+    as registered names), not hand-maintained per scenario.
+    """
+    families = Counter(topology.family for topology in spec.topologies)
+    family_text = ",".join(
+        f"{name}x{count}" if count > 1 else name for name, count in families.items()
+    )
+    behaviors = [behavior for behavior in spec.behaviors if behavior != NOT_APPLICABLE]
+    behavior_text = ",".join(behaviors) if behaviors else "(no adversary)"
+    f_text = ",".join(str(f) for f in spec.f_values)
+    return f"{family_text} | f={f_text} | {behavior_text}"
+
+
+def _cmd_list_plugins() -> int:
+    """The ``list --plugins`` listing: every registered extension point."""
+    for registry_name, registry in ALL_REGISTRIES.items():
+        rows = []
+        for entry in registry.entries():
+            params = entry.metadata.get("params", ())
+            kind = entry.metadata.get("kind", "") or getattr(entry.obj, "kind", "")
+            spec_text = entry.name + (f":{','.join(params)}" if params else "")
+            rows.append([spec_text, kind, entry.summary])
+        print(format_table([f"{registry_name} ({len(rows)})", "kind", "summary"], rows))
+        print()
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.plugins:
+        return _cmd_list_plugins()
     rows = []
     for scenario in SCENARIOS.values():
         rows.append(
             [
                 scenario.name,
+                ",".join(scenario.spec.algorithms),
                 scenario.spec.num_cells,
                 scenario.quick.num_cells,
+                _axes_detail(scenario.spec),
                 scenario.description,
             ]
         )
-    print(format_table(["scenario", "cells", "quick cells", "description"], rows))
+    print(
+        format_table(
+            ["scenario", "algorithms", "cells", "quick", "grid axes", "description"], rows
+        )
+    )
     return 0
 
 
 def _artifact_path(
-    output: Optional[pathlib.Path], names: Sequence[str], name: str, mode: str
+    output: Optional[pathlib.Path], count: int, name: str, mode: str
 ) -> pathlib.Path:
     filename = f"{name}.{mode}.json"
     if output is None:
         return DEFAULT_OUTPUT_DIR / filename
-    if len(names) == 1 and output.suffix == ".json":
+    if count == 1 and output.suffix == ".json":
         return output
     return output / filename
 
 
+def _selected_scenarios(args: argparse.Namespace) -> List[Scenario]:
+    """Resolve ``--scenario`` names and ``--scenario-file`` paths, in order."""
+    scenarios: List[Scenario] = []
+    for entry in args.scenario or ():
+        for name in entry.split(","):
+            if name:
+                scenarios.append(get_scenario(name))
+    for path in args.scenario_file or ():
+        scenarios.append(load_scenario_file(path))
+    if not scenarios:
+        raise ReproError("nothing to run: pass --scenario NAME and/or --scenario-file PATH")
+    return scenarios
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    for module in args.plugins or ():
+        try:
+            importlib.import_module(module)
+        except ImportError as error:
+            raise ReproError(f"cannot import plugin module {module!r}: {error}") from None
     engine = SweepEngine(workers=args.workers, chunk_size=args.chunk_size)
     mode = "quick" if args.quick else "full"
-    names: List[str] = []
-    for entry in args.scenario:
-        names.extend(part for part in entry.split(",") if part)
-    for name in names:
-        scenario = get_scenario(name)
+    scenarios = _selected_scenarios(args)
+    for scenario in scenarios:
         spec = scenario.grid(quick=args.quick)
         result = engine.run(spec)
-        path = _artifact_path(args.output, names, name, mode)
+        path = _artifact_path(args.output, len(scenarios), scenario.name, mode)
         write_artifact(path, result, mode=mode)
         if not args.no_table:
-            print(render_sweep_groups(f"{name} ({mode} grid)", result.groups))
+            print(render_sweep_groups(f"{scenario.name} ({mode} grid)", result.groups))
         rate = len(result.cells) / result.wall_seconds if result.wall_seconds else float("inf")
         print(
-            f"{name}: {len(result.cells)} cells in {result.wall_seconds:.2f}s "
+            f"{scenario.name}: {len(result.cells)} cells in {result.wall_seconds:.2f}s "
             f"({rate:.1f} cells/s, workers={result.workers}) -> {path}"
         )
     return 0
@@ -275,7 +365,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         if args.command == "list":
-            return _cmd_list()
+            return _cmd_list(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "compare":

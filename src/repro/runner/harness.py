@@ -21,6 +21,7 @@ is generic over any picklable ``runner(spec, cell) -> CellResult`` callable.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 import hashlib
 import math
@@ -42,10 +43,15 @@ from typing import (
 from repro.adversary.adversary import FaultPlan
 from repro.adversary.behaviors import STANDARD_BEHAVIOR_FACTORIES
 from repro.adversary.placement import place_random
+from repro.exceptions import ScenarioFileError
 from repro.graphs.digraph import DiGraph
 from repro.runner.metrics import ConsensusOutcome, aggregate_success_rate
 
 NodeId = Hashable
+
+#: Placeholder axis value for cells where an axis does not apply (e.g. the
+#: behaviour/placement axes of condition-check cells — no adversary involved).
+NOT_APPLICABLE = "-"
 
 #: Result of running one cell; implemented by ``repro.runner.scenarios.run_cell``.
 CellRunner = Callable[["GridSpec", "SweepCell"], "CellResult"]
@@ -111,8 +117,37 @@ class TopologySpec:
         inner = ",".join(f"{key}={value}" for key, value in self.params)
         return f"{self.family}({inner})"
 
+    def build(self) -> DiGraph:
+        """Construct the graph this spec describes, through the
+        :data:`~repro.registry.TOPOLOGIES` registry."""
+        from repro.registry import TOPOLOGIES
+
+        factory = TOPOLOGIES.get(self.family)
+        return factory(**{key: value for key, value in self.params})
+
     def as_dict(self) -> Dict[str, object]:
         return {"family": self.family, "params": {key: value for key, value in self.params}}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TopologySpec":
+        """Inverse of :meth:`as_dict`, with schema validation."""
+        if not isinstance(payload, Mapping):
+            raise ScenarioFileError(f"topology entry must be a table, got {payload!r}")
+        unknown = set(payload) - {"family", "params"}
+        if unknown:
+            raise ScenarioFileError(f"unknown topology keys {sorted(unknown)}")
+        family = payload.get("family")
+        if not isinstance(family, str) or not family:
+            raise ScenarioFileError(f"topology 'family' must be a non-empty string, got {family!r}")
+        params = payload.get("params", {})
+        if not isinstance(params, Mapping):
+            raise ScenarioFileError(f"topology 'params' must be a table, got {params!r}")
+        for key, value in params.items():
+            if not isinstance(key, str):
+                raise ScenarioFileError(f"topology param names must be strings, got {key!r}")
+            if not isinstance(value, (int, float, bool, str)):
+                raise ScenarioFileError(f"topology param {key!r} must be a scalar, got {value!r}")
+        return cls.make(family, **dict(params))
 
 
 @dataclass(frozen=True)
@@ -138,8 +173,42 @@ class GridSpec:
     path_policy: str = "simple"
     rounds: int = 15
 
+    def validate_plugins(self) -> None:
+        """Resolve every plugin name the grid references, eagerly.
+
+        Called from :meth:`expand` — i.e. in the parent process, before any
+        worker pool forks — so a typo'd behaviour/placement/topology/
+        algorithm surfaces as one
+        :class:`~repro.exceptions.UnknownPluginError` listing the valid
+        registered names instead of a bare ``KeyError`` deep in a worker.
+        """
+        from repro.registry import (
+            ALGORITHMS,
+            BEHAVIORS,
+            PLACEMENTS,
+            TOPOLOGIES,
+            validate_plugin_args,
+        )
+
+        for algorithm in self.algorithms:
+            ALGORITHMS.get(algorithm)
+        for topology in self.topologies:
+            TOPOLOGIES.get(topology.family)
+        for behavior in self.behaviors:
+            if behavior != NOT_APPLICABLE:
+                validate_plugin_args(BEHAVIORS, behavior)
+        for placement in self.placements:
+            if placement != NOT_APPLICABLE:
+                PLACEMENTS.get(placement)
+
     def expand(self) -> List["SweepCell"]:
-        """Materialize every cell of the grid, with derived seeds attached."""
+        """Materialize every cell of the grid, with derived seeds attached.
+
+        Plugin names are validated first (:meth:`validate_plugins`), so an
+        unknown extension name fails here — before the pool forks — rather
+        than inside a worker.
+        """
+        self.validate_plugins()
         cells: List[SweepCell] = []
         index = 0
         for algorithm in self.algorithms:
@@ -190,6 +259,100 @@ class GridSpec:
             "path_policy": self.path_policy,
             "rounds": self.rounds,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "GridSpec":
+        """Inverse of :meth:`as_dict`, with schema validation.
+
+        Lists become the tuples the frozen dataclass expects, so
+        ``GridSpec.from_dict(spec.as_dict()) == spec`` exactly — including
+        the cell indexing (and therefore derived seeds) of :meth:`expand`.
+        Unknown keys, wrong types and empty required axes raise
+        :class:`~repro.exceptions.ScenarioFileError`; plugin *names* are
+        validated later, at :meth:`expand` time.
+        """
+        if not isinstance(payload, Mapping):
+            raise ScenarioFileError(f"grid spec must be a table, got {payload!r}")
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ScenarioFileError(f"unknown grid-spec keys {sorted(unknown)}")
+
+        def strings(key: str, required: bool = False) -> Optional[Tuple[str, ...]]:
+            if key not in payload:
+                if required:
+                    raise ScenarioFileError(f"grid spec is missing required key {key!r}")
+                return None
+            values = payload[key]
+            if (
+                not isinstance(values, Sequence)
+                or isinstance(values, (str, bytes))
+                or not values
+                or not all(isinstance(value, str) for value in values)
+            ):
+                raise ScenarioFileError(
+                    f"grid-spec {key!r} must be a non-empty list of strings, got {values!r}"
+                )
+            return tuple(values)
+
+        def numbers(key: str, kind: type) -> Optional[Tuple]:
+            if key not in payload:
+                return None
+            values = payload[key]
+            if (
+                not isinstance(values, Sequence)
+                or isinstance(values, (str, bytes))
+                or not values
+                or not all(
+                    isinstance(value, kind) and not isinstance(value, bool) for value in values
+                )
+            ):
+                raise ScenarioFileError(
+                    f"grid-spec {key!r} must be a non-empty list of {kind.__name__}s, "
+                    f"got {values!r}"
+                )
+            return tuple(values)
+
+        def scalar(key: str, kind: type):
+            if key not in payload:
+                return None
+            value = payload[key]
+            if kind is float and isinstance(value, int) and not isinstance(value, bool):
+                value = float(value)
+            if not isinstance(value, kind) or isinstance(value, bool):
+                raise ScenarioFileError(
+                    f"grid-spec {key!r} must be a {kind.__name__}, got {value!r}"
+                )
+            return value
+
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise ScenarioFileError(f"grid-spec 'name' must be a non-empty string, got {name!r}")
+        raw_topologies = payload.get("topologies")
+        if not isinstance(raw_topologies, Sequence) or not raw_topologies:
+            raise ScenarioFileError(
+                f"grid-spec 'topologies' must be a non-empty list, got {raw_topologies!r}"
+            )
+        fields: Dict[str, object] = {
+            "name": name,
+            "algorithms": strings("algorithms", required=True),
+            "topologies": tuple(TopologySpec.from_dict(entry) for entry in raw_topologies),
+        }
+        for key, value in (
+            ("f_values", numbers("f_values", int)),
+            ("behaviors", strings("behaviors")),
+            ("placements", strings("placements")),
+            ("seeds", numbers("seeds", int)),
+            ("epsilon", scalar("epsilon", float)),
+            ("input_low", scalar("input_low", float)),
+            ("input_high", scalar("input_high", float)),
+            ("inputs", scalar("inputs", str)),
+            ("path_policy", scalar("path_policy", str)),
+            ("rounds", scalar("rounds", int)),
+        ):
+            if value is not None:
+                fields[key] = value
+        return cls(**fields)  # type: ignore[arg-type]
 
 
 @dataclass(frozen=True)
@@ -476,7 +639,7 @@ class SweepEngine:
                 # Build every needed topology object once in the parent so
                 # fork-based workers inherit them copy-on-write instead of
                 # each rebuilding the expensive precomputation.
-                from repro.runner.scenarios import warm_worker_caches
+                from repro.runner.worker_cache import warm_worker_caches
 
                 warm_worker_caches(spec, cells)
             chunk = self.chunk_size or max(1, math.ceil(len(cells) / (self.workers * 4)))
@@ -600,6 +763,7 @@ def sweep_behaviors(
 
 
 __all__ = [
+    "NOT_APPLICABLE",
     "CellResult",
     "CellRunner",
     "GridSpec",

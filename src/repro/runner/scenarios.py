@@ -1,753 +1,74 @@
-"""Scenario registry: every benchmark grid as a named, declarative spec.
+"""Built-in scenarios and the registry-backed cell dispatcher.
 
-A *scenario* couples a :class:`~repro.runner.harness.GridSpec` (the full
-grid behind one paper artefact) with a cheaper ``quick`` variant used by CI
-shards and smoke tests.  The registries below resolve the string axes of a
-grid — topology family, algorithm, behaviour, placement — into concrete
-objects *inside the worker process*, so cells travel between processes as
-small tuples of primitives and a sharded run needs nothing unpicklable.
+The nine named sweep grids live as declarative TOML files under
+``src/repro/runner/scenarios/`` (see :mod:`repro.runner.scenario_files` for
+the format) and every string axis resolves through the typed registries in
+:mod:`repro.registry`:
+
+* topology families   -> :data:`~repro.registry.TOPOLOGIES`
+* Byzantine behaviours-> :data:`~repro.registry.BEHAVIORS`
+* fault placements    -> :data:`~repro.registry.PLACEMENTS`
+* algorithms          -> :data:`~repro.registry.ALGORITHMS`
+  (each an :class:`~repro.runner.algorithms.AlgorithmSpec`)
 
 :func:`run_cell` is the single cell-execution entry point used by
-:class:`~repro.runner.harness.SweepEngine`.  Two kinds of cells exist:
+:class:`~repro.runner.harness.SweepEngine`; it resolves the cell's algorithm
+*by name inside the worker process*, so cells travel between processes as
+small tuples of primitives and a sharded run needs nothing unpicklable.
 
-* consensus cells (``bw``, ``clique``, ``crash``, ``iterative``,
-  ``local-average``) run one full execution through the drivers in
-  :mod:`repro.runner.experiment`;
-* check cells (``check-reach``, ``check-table1``, ``check-table2``,
-  ``check-necessity``) evaluate the paper's feasibility conditions and
-  constructions, recording their verdicts as the cell's success flag.
+This module also keeps the pre-registry call surface alive as thin
+deprecation shims (:func:`build_topology`, :func:`resolve_placement` and the
+``TOPOLOGY_FAMILIES`` / ``BEHAVIOR_FACTORIES`` / ``SYNC_BYZANTINE_VALUES``
+mapping views).  New code should use the registries — preferably through
+:mod:`repro.api` — instead; ``src/repro`` itself no longer calls the shims
+(CI greps to keep it that way).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, Hashable, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Hashable, Iterator, List, Mapping, Optional
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.algorithms.topology import TopologyKnowledge
-
-from repro.adversary.adversary import FaultPlan
-from repro.adversary.behaviors import HonestBehavior, STANDARD_BEHAVIOR_FACTORIES
-from repro.adversary.placement import (
-    place_bridge_nodes,
-    place_max_in_degree,
-    place_max_out_degree,
-    place_random,
-)
-from repro.algorithms.base import ConsensusConfig
-from repro.analysis.feasibility import (
-    compare_undirected,
-    directed_feasibility_row,
-    equivalences_hold,
-)
-from repro.analysis.necessity import build_schedule, demonstrate_disagreement, find_violation
-from repro.conditions.reach_conditions import check_one_reach, check_three_reach, check_two_reach
 from repro.exceptions import ExperimentError
-from repro.graphs import generators
 from repro.graphs.digraph import DiGraph
-from repro.runner.experiment import (
-    run_bw_experiment,
-    run_clique_experiment,
-    run_crash_experiment,
-    run_iterative_experiment,
-    run_local_average_experiment,
-)
-from repro.runner.harness import (
-    CellResult,
-    GridSpec,
-    SweepCell,
-    TopologySpec,
-    random_inputs,
-    spread_inputs,
+from repro.registry import ALGORITHMS, BEHAVIORS, TOPOLOGIES
+from repro.runner import algorithms as _algorithms
+from repro.runner.harness import NOT_APPLICABLE, CellResult, GridSpec, SweepCell, TopologySpec
+from repro.runner.scenario_files import Scenario, load_builtin_scenarios
+from repro.runner.worker_cache import (
+    WORKER_CACHE_LIMIT,
+    cached_graph,
+    cached_topology_knowledge,
+    clear_worker_caches,
+    warm_worker_caches,
+    worker_cache_stats,
 )
 
 NodeId = Hashable
 
-
-# ----------------------------------------------------------------------
-# topology registry
-# ----------------------------------------------------------------------
-TOPOLOGY_FAMILIES: Dict[str, Callable[..., DiGraph]] = {
-    "clique": generators.complete_digraph,
-    "figure-1a": generators.figure_1a,
-    "figure-1b": generators.figure_1b,
-    "directed-cycle": generators.directed_cycle,
-    "bidirected-cycle": generators.bidirected_cycle,
-    "wheel": generators.bidirected_wheel,
-    "undirected-complete": generators.bidirected_complete,
-    "random-bidirected": generators.random_bidirected_graph,
-    "random-digraph": generators.random_digraph,
-    "random-k-out": generators.random_k_out_digraph,
-    "two-cliques": generators.two_cliques_bridged,
-    "clique-with-feeders": generators.clique_with_feeders,
-    "layered-relay": generators.layered_relay_digraph,
-    "star-out": generators.star_out,
-}
-
-
-def build_topology(spec: TopologySpec) -> DiGraph:
-    """Construct the graph a :class:`TopologySpec` describes."""
-    try:
-        factory = TOPOLOGY_FAMILIES[spec.family]
-    except KeyError:
-        raise ExperimentError(f"unknown topology family {spec.family!r}") from None
-    return factory(**{key: value for key, value in spec.params})
-
-
-# ----------------------------------------------------------------------
-# per-worker topology memoisation
-# ----------------------------------------------------------------------
-# Rebuilding a topology's precomputation per *cell* — the DiGraph, its shared
-# BitsetIndex, and above all the TopologyKnowledge redundant-path enumeration
-# — used to dominate sweep time (and made a 2-worker sharded run *slower*
-# than serial).  Cells are pure functions of their spec, so the expensive
-# objects only depend on (topology recipe, f, path policy): they are cached
-# process-globally and thereby once per worker.  SweepEngine groups
-# same-topology cells into the same pool chunk so each worker pays each
-# build at most once.  Caching is invisible in the results: cell outcomes
-# depend only on the cell's derived seed and the (deterministic) topology.
-
-_GRAPH_CACHE: Dict[TopologySpec, DiGraph] = {}
-_KNOWLEDGE_CACHE: Dict[Tuple[TopologySpec, int, str], "TopologyKnowledge"] = {}
-#: Bound on either cache: big nightly grids sweep hundreds of topologies and
-#: must not hold every graph alive; oldest entries are evicted first.
-WORKER_CACHE_LIMIT = 64
-
-
-def _bounded_put(cache: Dict, key, value) -> None:
-    if len(cache) >= WORKER_CACHE_LIMIT:
-        cache.pop(next(iter(cache)))  # insertion order: evict the oldest
-    cache[key] = value
-
-
-def cached_graph(spec: TopologySpec) -> DiGraph:
-    """The worker-cached :class:`DiGraph` of a topology spec.
-
-    The graph instance also carries its shared
-    :class:`~repro.graphs.bitset.BitsetIndex`, so reach/SCC memos warm up
-    across every cell of the same topology.
-    """
-    graph = _GRAPH_CACHE.get(spec)
-    if graph is None:
-        graph = build_topology(spec)
-        _bounded_put(_GRAPH_CACHE, spec, graph)
-    return graph
-
-
-def cached_topology_knowledge(
-    spec: TopologySpec, f: int, path_policy: str
-) -> "TopologyKnowledge":
-    """Worker-cached :class:`~repro.algorithms.topology.TopologyKnowledge`.
-
-    Keyed on ``(topology recipe, f, path policy)`` — everything the
-    precomputation depends on.  The knowledge shares the graph from
-    :func:`cached_graph`, so its engine and reach caches are shared too.
-    """
-    from repro.algorithms.topology import TopologyKnowledge
-
-    key = (spec, f, path_policy)
-    knowledge = _KNOWLEDGE_CACHE.get(key)
-    if knowledge is None:
-        knowledge = TopologyKnowledge(cached_graph(spec), f, path_policy)
-        _bounded_put(_KNOWLEDGE_CACHE, key, knowledge)
-    return knowledge
-
-
-def warm_worker_caches(spec: GridSpec, cells: List[SweepCell]) -> None:
-    """Pre-build every topology object the cells of ``spec`` will need.
-
-    Called by :class:`~repro.runner.harness.SweepEngine` in the parent
-    process *before* forking the worker pool: on fork-based platforms the
-    children then share the graphs, bitmask indexes and TopologyKnowledge
-    (including the eager fullness machinery forced here) via copy-on-write
-    instead of each worker rebuilding them.  On spawn platforms the call is
-    wasted-but-harmless parent work.
-    """
-    seen = set()
-    for cell in cells:
-        cached_graph(cell.topology)
-        if cell.algorithm in ("bw", "crash"):
-            policy = spec.path_policy if cell.algorithm == "bw" else "simple"
-            key = (cell.topology, cell.f, policy)
-            if key in seen:
-                continue
-            seen.add(key)
-            knowledge = cached_topology_knowledge(*key)
-            if cell.algorithm == "bw":
-                # The eager fullness machinery (required paths + reverse
-                # index) is a BW-only structure; the crash baseline reads
-                # just fault_candidates and the lazily-warmed reach cache.
-                for node in knowledge.nodes:
-                    knowledge.required_index(node)
-
-
-def worker_cache_stats() -> Dict[str, int]:
-    """Sizes of this process's topology caches (diagnostics)."""
-    return {"graphs": len(_GRAPH_CACHE), "knowledge": len(_KNOWLEDGE_CACHE)}
-
-
-def clear_worker_caches() -> None:
-    """Drop the process-global topology caches (tests / cold-start benches)."""
-    _GRAPH_CACHE.clear()
-    _KNOWLEDGE_CACHE.clear()
-
-
-# ----------------------------------------------------------------------
-# behaviour registries
-# ----------------------------------------------------------------------
-#: Asynchronous (message-intercepting) behaviours, by name.
-BEHAVIOR_FACTORIES: Dict[str, Callable[[], object]] = {
-    "honest": lambda: HonestBehavior(),
-    **STANDARD_BEHAVIOR_FACTORIES,
-}
-
-
-def _sync_fixed_high(node, round_index, receiver, value) -> float:
-    return 1e6
-
-
-def _sync_fixed_low(node, round_index, receiver, value) -> float:
-    return -1e6
-
-
-def _sync_offset(node, round_index, receiver, value) -> float:
-    return value + 25.0
-
-
-#: Synchronous-model behaviours (value-reporting functions); ``None`` means
-#: the faulty nodes behave honestly.
-SYNC_BYZANTINE_VALUES: Dict[str, Optional[Callable]] = {
-    "honest": None,
-    "fixed-high": _sync_fixed_high,
-    "fixed-low": _sync_fixed_low,
-    "offset": _sync_offset,
-}
-
-#: Placeholder axis value for check cells (no adversary involved).
-NOT_APPLICABLE = "-"
-
-
-def resolve_placement(name: str, graph: DiGraph, f: int, seed: int) -> FrozenSet[NodeId]:
-    """Resolve a placement-strategy name into a concrete faulty set."""
-    if name in ("none", NOT_APPLICABLE) or f == 0:
-        return frozenset()
-    if name == "random":
-        return place_random(graph, f, seed=seed)
-    if name == "max-out-degree":
-        return place_max_out_degree(graph, f)
-    if name == "max-in-degree":
-        return place_max_in_degree(graph, f)
-    if name == "bridges":
-        return place_bridge_nodes(graph, f)
-    if name == "last":
-        # Integer labels sort numerically (repr order would put 10 before 2);
-        # everything else falls back to repr order, mixed universes last.
-        def order(node: NodeId):
-            if isinstance(node, bool) or not isinstance(node, int):
-                return (1, 0, repr(node))
-            return (0, node, "")
-
-        return frozenset(sorted(graph.nodes, key=order)[-f:])
-    raise ExperimentError(f"unknown placement strategy {name!r}")
+#: Algorithm names by kind, derived from the registry (stays in sync with
+#: whatever is registered at import time; third-party registrations made
+#: later are still resolvable by name, just not listed here).
+CONSENSUS_ALGORITHMS = tuple(
+    name for name in ALGORITHMS.names() if ALGORITHMS.get(name).kind == "consensus"
+)
+CHECK_ALGORITHMS = tuple(
+    name for name in ALGORITHMS.names() if ALGORITHMS.get(name).kind == "check"
+)
 
 
 # ----------------------------------------------------------------------
 # cell execution
 # ----------------------------------------------------------------------
-CONSENSUS_ALGORITHMS = ("bw", "clique", "crash", "iterative", "local-average")
-CHECK_ALGORITHMS = ("check-reach", "check-table1", "check-table2", "check-necessity")
-
-
 def run_cell(spec: GridSpec, cell: SweepCell) -> CellResult:
     """Execute one sweep cell; the engine's default (picklable) cell runner."""
     graph = cached_graph(cell.topology)
-    if cell.algorithm in CHECK_ALGORITHMS:
-        return _run_check_cell(spec, cell, graph)
-    if cell.algorithm in CONSENSUS_ALGORITHMS:
-        return _run_consensus_cell(spec, cell, graph)
-    raise ExperimentError(f"unknown algorithm {cell.algorithm!r}")
-
-
-def _run_consensus_cell(spec: GridSpec, cell: SweepCell, graph: DiGraph) -> CellResult:
-    config = ConsensusConfig(
-        f=cell.f,
-        epsilon=spec.epsilon,
-        input_low=spec.input_low,
-        input_high=spec.input_high,
-        path_policy=spec.path_policy,
-    )
-    if spec.inputs == "random":
-        inputs = random_inputs(graph, spec.input_low, spec.input_high, seed=cell.derived_seed)
-    elif spec.inputs == "spread":
-        inputs = spread_inputs(graph, spec.input_low, spec.input_high)
-    else:
-        raise ExperimentError(f"unknown input generator {spec.inputs!r}")
-    faulty = resolve_placement(cell.placement, graph, cell.f, seed=cell.derived_seed)
-
-    if cell.algorithm in ("iterative", "local-average"):
-        try:
-            byzantine_value = SYNC_BYZANTINE_VALUES[cell.behavior]
-        except KeyError:
-            raise ExperimentError(
-                f"behaviour {cell.behavior!r} has no synchronous-model equivalent"
-            ) from None
-        driver = (
-            run_iterative_experiment
-            if cell.algorithm == "iterative"
-            else run_local_average_experiment
-        )
-        outcome = driver(
-            graph,
-            inputs,
-            config,
-            rounds=spec.rounds,
-            faulty_nodes=faulty,
-            byzantine_value=byzantine_value,
-            behavior_name=cell.behavior,
-        )
-        return CellResult.from_outcome(cell, graph, outcome)
-
-    try:
-        factory = BEHAVIOR_FACTORIES[cell.behavior]
-    except KeyError:
-        raise ExperimentError(f"unknown behaviour {cell.behavior!r}") from None
-    plan = FaultPlan(faulty, lambda node: factory(), seed=cell.derived_seed)
-    if cell.algorithm == "bw":
-        outcome = run_bw_experiment(
-            graph,
-            inputs,
-            config,
-            plan,
-            seed=cell.derived_seed,
-            topology=cached_topology_knowledge(cell.topology, cell.f, spec.path_policy),
-            behavior_name=cell.behavior,
-        )
-    elif cell.algorithm == "clique":
-        outcome = run_clique_experiment(
-            graph, inputs, config, plan, seed=cell.derived_seed, behavior_name=cell.behavior
-        )
-    else:
-        # The crash baseline only uses simple-path machinery regardless of
-        # the grid's flooding policy (crash faults never lie).
-        outcome = run_crash_experiment(
-            graph,
-            inputs,
-            config,
-            plan,
-            seed=cell.derived_seed,
-            topology=cached_topology_knowledge(cell.topology, cell.f, "simple"),
-            behavior_name=cell.behavior,
-        )
-    return CellResult.from_outcome(cell, graph, outcome)
-
-
-def _check_cell_result(
-    cell: SweepCell, graph: DiGraph, success: bool, metrics: Dict[str, object]
-) -> CellResult:
-    return CellResult(
-        index=cell.index,
-        algorithm=cell.algorithm,
-        topology=cell.topology.label,
-        n=graph.num_nodes,
-        f=cell.f,
-        behavior=cell.behavior,
-        placement=cell.placement,
-        seed=cell.seed,
-        derived_seed=cell.derived_seed,
-        success=success,
-        metrics=metrics,
-    )
-
-
-def _run_check_cell(spec: GridSpec, cell: SweepCell, graph: DiGraph) -> CellResult:
-    if cell.algorithm == "check-reach":
-        reach_1 = check_one_reach(graph, cell.f).holds
-        reach_2 = check_two_reach(graph, cell.f).holds
-        reach_3 = check_three_reach(graph, cell.f).holds
-        return _check_cell_result(
-            cell,
-            graph,
-            success=reach_3,
-            metrics={"reach_1": reach_1, "reach_2": reach_2, "reach_3": reach_3},
-        )
-    if cell.algorithm == "check-table1":
-        row = compare_undirected(graph, cell.f)
-        return _check_cell_result(
-            cell,
-            graph,
-            success=row.consistent,
-            metrics={
-                "kappa": row.kappa,
-                "classical_crash_sync": row.classical_crash_sync,
-                "classical_crash_async": row.classical_crash_async,
-                "classical_byz": row.classical_byz,
-                "reach_1": row.reach_1,
-                "reach_2": row.reach_2,
-                "reach_3": row.reach_3,
-            },
-        )
-    if cell.algorithm == "check-table2":
-        row = directed_feasibility_row(graph, cell.f)
-        return _check_cell_result(
-            cell,
-            graph,
-            success=equivalences_hold(row),
-            metrics={
-                "crash_sync": bool(row.verdict("crash/sync")),
-                "crash_async": bool(row.verdict("crash/async")),
-                "byz_sync": bool(row.verdict("byz/sync")),
-                "byz_async": bool(row.verdict("byz/async")),
-                "ccs": bool(row.verdict("CCS")),
-                "cca": bool(row.verdict("CCA")),
-                "bcs": bool(row.verdict("BCS")),
-            },
-        )
-    if cell.algorithm == "check-necessity":
-        if check_three_reach(graph, cell.f).holds:
-            raise ExperimentError(
-                f"{graph.name} satisfies 3-reach for f={cell.f}; "
-                "the necessity construction needs a violating graph"
-            )
-        violation = find_violation(graph, cell.f)
-        schedule = build_schedule(graph, violation, epsilon=1.0)
-        result = demonstrate_disagreement(graph, violation, epsilon=1.0, rounds=spec.rounds)
-        return _check_cell_result(
-            cell,
-            graph,
-            success=schedule.structural_facts_hold and result.convergence_violated,
-            metrics={
-                "witness_pair": f"{violation.u!r}/{violation.v!r}",
-                "structural_facts_hold": schedule.structural_facts_hold,
-                "disagreement": result.disagreement,
-                "convergence_violated": result.convergence_violated,
-            },
-        )
-    raise ExperimentError(f"unknown check algorithm {cell.algorithm!r}")
+    return ALGORITHMS.get(cell.algorithm).run(spec, cell, graph)
 
 
 # ----------------------------------------------------------------------
-# the scenario registry
+# the scenario registry (loaded from the committed TOML files)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class Scenario:
-    """A named sweep: the full grid plus a CI-friendly quick variant."""
-
-    name: str
-    description: str
-    artefact: str
-    spec: GridSpec
-    quick: GridSpec
-
-    def grid(self, quick: bool = False) -> GridSpec:
-        return self.quick if quick else self.spec
-
-
-def _check_axes(**overrides: object) -> Dict[str, object]:
-    """Common axis values for check-cell grids (no adversary axes)."""
-    axes: Dict[str, object] = {
-        "behaviors": (NOT_APPLICABLE,),
-        "placements": (NOT_APPLICABLE,),
-        "seeds": (0,),
-    }
-    axes.update(overrides)
-    return axes
-
-
-def _build_scenarios() -> Dict[str, Scenario]:
-    clique4 = TopologySpec.make("clique", n=4)
-    fig1a = TopologySpec.make("figure-1a")
-    fig1b = TopologySpec.make("figure-1b")
-
-    scenarios: List[Scenario] = []
-
-    scenarios.append(
-        Scenario(
-            name="figure1a",
-            description="Byzantine-Witness on the Figure 1(a) graph under a behaviour sweep",
-            artefact="Figure 1(a) / Theorem 4 (f=1 feasibility on the 5-node graph)",
-            spec=GridSpec(
-                name="figure1a",
-                algorithms=("bw",),
-                topologies=(fig1a,),
-                f_values=(1,),
-                behaviors=("crash", "fixed-high", "equivocate"),
-                placements=("random",),
-                seeds=(1, 2, 3),
-                epsilon=0.25,
-                path_policy="simple",
-            ),
-            quick=GridSpec(
-                name="figure1a",
-                algorithms=("bw",),
-                topologies=(fig1a,),
-                f_values=(1,),
-                behaviors=("crash", "fixed-high"),
-                placements=("random",),
-                seeds=(1,),
-                epsilon=0.25,
-                path_policy="simple",
-            ),
-        )
-    )
-
-    scenarios.append(
-        Scenario(
-            name="figure1b",
-            description="synchronous baselines on the Figure 1(b) two-clique graph (f=2)",
-            artefact="Figure 1(b): the 14-node separation graph as a consensus workload",
-            spec=GridSpec(
-                name="figure1b",
-                algorithms=("iterative", "local-average"),
-                topologies=(fig1b,),
-                f_values=(2,),
-                behaviors=("honest", "fixed-high", "offset"),
-                placements=("random", "max-out-degree"),
-                seeds=(1, 2, 3),
-                epsilon=0.25,
-                rounds=15,
-            ),
-            quick=GridSpec(
-                name="figure1b",
-                algorithms=("iterative",),
-                topologies=(fig1b,),
-                f_values=(2,),
-                behaviors=("honest", "fixed-high"),
-                placements=("random",),
-                seeds=(1,),
-                epsilon=0.25,
-                rounds=15,
-            ),
-        )
-    )
-
-    scenarios.append(
-        Scenario(
-            name="definition1",
-            description="Definition 1 properties for BW on the 4-clique across all behaviours",
-            artefact="Lemma 15 / Section 4.6 behaviour sweep (definition1_sweep table)",
-            spec=GridSpec(
-                name="definition1",
-                algorithms=("bw",),
-                topologies=(clique4,),
-                f_values=(1,),
-                behaviors=tuple(STANDARD_BEHAVIOR_FACTORIES),
-                placements=("random",),
-                seeds=(1, 2),
-                epsilon=0.25,
-                path_policy="redundant",
-            ),
-            quick=GridSpec(
-                name="definition1",
-                algorithms=("bw",),
-                topologies=(clique4,),
-                f_values=(1,),
-                behaviors=("crash", "fixed-high", "equivocate"),
-                placements=("random",),
-                seeds=(1,),
-                epsilon=0.25,
-                path_policy="redundant",
-            ),
-        )
-    )
-
-    scenarios.append(
-        Scenario(
-            name="baselines_zoo",
-            description="every Byzantine-tolerant algorithm against the same fixed-value adversary",
-            artefact="Experiment B2 (baselines_b2_zoo table)",
-            spec=GridSpec(
-                name="baselines_zoo",
-                algorithms=("bw", "clique", "iterative", "local-average"),
-                topologies=(clique4,),
-                f_values=(1,),
-                behaviors=("fixed-high",),
-                placements=("last",),
-                seeds=(1, 2, 3),
-                epsilon=0.25,
-                path_policy="redundant",
-                rounds=20,
-            ),
-            quick=GridSpec(
-                name="baselines_zoo",
-                algorithms=("bw", "clique", "iterative", "local-average"),
-                topologies=(clique4,),
-                f_values=(1,),
-                behaviors=("fixed-high",),
-                placements=("last",),
-                seeds=(1,),
-                epsilon=0.25,
-                path_policy="redundant",
-                rounds=20,
-            ),
-        )
-    )
-
-    scenarios.append(
-        Scenario(
-            name="crash_baseline",
-            description="the crash-tolerant 2-reach baseline under crash faults",
-            artefact="Experiment B2 (crash-tolerant row of the zoo)",
-            spec=GridSpec(
-                name="crash_baseline",
-                algorithms=("crash",),
-                topologies=(clique4,),
-                f_values=(1,),
-                behaviors=("crash",),
-                placements=("random",),
-                seeds=(1, 2, 3),
-                epsilon=0.25,
-            ),
-            quick=GridSpec(
-                name="crash_baseline",
-                algorithms=("crash",),
-                topologies=(clique4,),
-                f_values=(1,),
-                behaviors=("crash",),
-                placements=("random",),
-                seeds=(1,),
-                epsilon=0.25,
-            ),
-        )
-    )
-
-    clique_sizes = (2, 3, 4, 5, 6, 7, 8, 9)
-    bridge_counts = (1, 2, 3, 4, 5)
-    resilience_topologies = tuple(
-        [TopologySpec.make("clique", n=n) for n in clique_sizes]
-        + [
-            TopologySpec.make("two-cliques", clique_size=5, forward_bridges=b, backward_bridges=b)
-            for b in bridge_counts
-        ]
-    )
-    scenarios.append(
-        Scenario(
-            name="resilience",
-            description="reach-condition verdicts across clique sizes and bridge counts",
-            artefact="Appendix A closed forms + the Figure 1(b) family resilience sweep",
-            spec=GridSpec(
-                name="resilience",
-                algorithms=("check-reach",),
-                topologies=resilience_topologies,
-                f_values=(1, 2),
-                **_check_axes(),
-            ),
-            quick=GridSpec(
-                name="resilience",
-                algorithms=("check-reach",),
-                topologies=tuple(
-                    [TopologySpec.make("clique", n=n) for n in (3, 5, 7)]
-                    + [
-                        TopologySpec.make(
-                            "two-cliques", clique_size=5, forward_bridges=b, backward_bridges=b
-                        )
-                        for b in (1, 5)
-                    ]
-                ),
-                f_values=(1,),
-                **_check_axes(),
-            ),
-        )
-    )
-
-    table1_topologies = (
-        TopologySpec.make("bidirected-cycle", n=6),
-        TopologySpec.make("bidirected-cycle", n=8),
-        TopologySpec.make("wheel", n=6),
-        TopologySpec.make("wheel", n=8),
-        TopologySpec.make("undirected-complete", n=5),
-        TopologySpec.make("undirected-complete", n=7),
-        TopologySpec.make("random-bidirected", n=7, p=0.6, seed=11),
-        TopologySpec.make("random-bidirected", n=8, p=0.5, seed=12),
-    )
-    scenarios.append(
-        Scenario(
-            name="table1",
-            description="classical counting conditions vs reach conditions on undirected families",
-            artefact="Table 1",
-            spec=GridSpec(
-                name="table1",
-                algorithms=("check-table1",),
-                topologies=table1_topologies,
-                f_values=(1, 2),
-                **_check_axes(),
-            ),
-            quick=GridSpec(
-                name="table1",
-                algorithms=("check-table1",),
-                topologies=table1_topologies[:4],
-                f_values=(1,),
-                **_check_axes(),
-            ),
-        )
-    )
-
-    table2_topologies = (
-        TopologySpec.make("clique", n=4),
-        TopologySpec.make("clique", n=7),
-        TopologySpec.make("directed-cycle", n=6),
-        fig1a,
-        TopologySpec.make("clique-with-feeders", core_size=4, feeders=2),
-        TopologySpec.make("layered-relay", width=3, depth=2),
-        TopologySpec.make("two-cliques", clique_size=4, forward_bridges=3, backward_bridges=3),
-        TopologySpec.make("random-digraph", n=7, p=0.4, seed=3, ensure_connected=True),
-        TopologySpec.make("random-digraph", n=7, p=0.25, seed=4, ensure_connected=True),
-    )
-    scenarios.append(
-        Scenario(
-            name="table2",
-            description="per-cell condition verdicts + Theorem 17 cross-check on directed families",
-            artefact="Table 2 / Theorem 17",
-            spec=GridSpec(
-                name="table2",
-                algorithms=("check-table2",),
-                topologies=table2_topologies,
-                f_values=(1, 2),
-                **_check_axes(),
-            ),
-            quick=GridSpec(
-                name="table2",
-                algorithms=("check-table2",),
-                topologies=table2_topologies[:5],
-                f_values=(1,),
-                **_check_axes(),
-            ),
-        )
-    )
-
-    necessity_topologies = (
-        TopologySpec.make("directed-cycle", n=6),
-        TopologySpec.make("star-out", n=6),
-        TopologySpec.make("two-cliques", clique_size=4, forward_bridges=1, backward_bridges=1),
-        TopologySpec.make("random-k-out", n=7, k=1, seed=5),
-    )
-    scenarios.append(
-        Scenario(
-            name="necessity",
-            description="Theorem 18 indistinguishability construction on 3-reach violators",
-            artefact="Theorem 18 (necessity of 3-reach)",
-            spec=GridSpec(
-                name="necessity",
-                algorithms=("check-necessity",),
-                topologies=necessity_topologies,
-                f_values=(1,),
-                rounds=20,
-                **_check_axes(),
-            ),
-            quick=GridSpec(
-                name="necessity",
-                algorithms=("check-necessity",),
-                topologies=necessity_topologies[:2],
-                f_values=(1,),
-                rounds=20,
-                **_check_axes(),
-            ),
-        )
-    )
-
-    return {scenario.name: scenario for scenario in scenarios}
-
-
-SCENARIOS: Dict[str, Scenario] = _build_scenarios()
+SCENARIOS: Dict[str, Scenario] = load_builtin_scenarios()
 
 
 def scenario_names() -> List[str]:
@@ -762,6 +83,67 @@ def get_scenario(name: str) -> Scenario:
     except KeyError:
         known = ", ".join(scenario_names())
         raise ExperimentError(f"unknown scenario {name!r} (known: {known})") from None
+
+
+# ----------------------------------------------------------------------
+# deprecated shims (pre-registry API; kept for external callers)
+# ----------------------------------------------------------------------
+def build_topology(spec: TopologySpec) -> DiGraph:
+    """Deprecated: use ``spec.build()`` (the TOPOLOGIES registry)."""
+    return spec.build()
+
+
+def resolve_placement(name: str, graph: DiGraph, f: int, seed: int) -> FrozenSet[NodeId]:
+    """Deprecated: use :data:`repro.registry.PLACEMENTS` /
+    :func:`repro.runner.algorithms.resolve_placement`."""
+    return _algorithms.resolve_placement(name, graph, f, seed)
+
+
+class _RegistryView(Mapping):
+    """Read-only mapping view over a registry (deprecated dict shims)."""
+
+    def __init__(self, registry, resolve: Callable, member: Callable = lambda entry: True):
+        self._registry = registry
+        self._resolve = resolve
+        self._member = member
+
+    def _names(self) -> List[str]:
+        return [entry.name for entry in self._registry.entries() if self._member(entry)]
+
+    def __getitem__(self, name: str):
+        if name not in self._registry:
+            raise KeyError(name)
+        entry = self._registry.entry(name)
+        if not self._member(entry):
+            raise KeyError(name)
+        return self._resolve(entry)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names())
+
+    def __len__(self) -> int:
+        return len(self._names())
+
+
+#: Deprecated: use :data:`repro.registry.TOPOLOGIES`.
+TOPOLOGY_FAMILIES: Mapping[str, Callable[..., DiGraph]] = _RegistryView(
+    TOPOLOGIES, lambda entry: entry.obj
+)
+
+#: Deprecated: use :data:`repro.registry.BEHAVIORS` (factories accept their
+#: registered parameters; called with none they build the default variant).
+BEHAVIOR_FACTORIES: Mapping[str, Callable[[], object]] = _RegistryView(
+    BEHAVIORS, lambda entry: entry.obj, lambda entry: entry.metadata.get("min_params", 0) == 0
+)
+
+#: Deprecated: use :func:`repro.runner.algorithms.resolve_sync_behavior`.
+#: Maps each behaviour with a synchronous-model equivalent to its default
+#: value-reporting function (``None`` = the faulty nodes behave honestly).
+SYNC_BYZANTINE_VALUES: Mapping[str, Optional[Callable]] = _RegistryView(
+    BEHAVIORS,
+    lambda entry: entry.metadata["sync"](),
+    lambda entry: "sync" in entry.metadata and entry.metadata.get("min_params", 0) == 0,
+)
 
 
 __all__ = [

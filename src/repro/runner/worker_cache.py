@@ -1,0 +1,123 @@
+"""Per-worker topology memoisation and the pre-fork warm-up.
+
+Rebuilding a topology's precomputation per *cell* — the DiGraph, its shared
+BitsetIndex, and above all the TopologyKnowledge redundant-path enumeration
+— used to dominate sweep time (and made a 2-worker sharded run *slower*
+than serial).  Cells are pure functions of their spec, so the expensive
+objects only depend on (topology recipe, f, path policy): they are cached
+process-globally and thereby once per worker.  SweepEngine groups
+same-topology cells into the same pool chunk so each worker pays each
+build at most once.  Caching is invisible in the results: cell outcomes
+depend only on the cell's derived seed and the (deterministic) topology.
+
+Graphs are constructed through the :data:`~repro.registry.TOPOLOGIES`
+registry (via :meth:`~repro.runner.harness.TopologySpec.build`), so a
+topology registered by third-party code is cached and warmed exactly like a
+built-in family.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.graphs.digraph import DiGraph
+from repro.runner.harness import GridSpec, SweepCell, TopologySpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algorithms.topology import TopologyKnowledge
+
+_GRAPH_CACHE: Dict[TopologySpec, DiGraph] = {}
+_KNOWLEDGE_CACHE: Dict[Tuple[TopologySpec, int, str], "TopologyKnowledge"] = {}
+#: Bound on either cache: big nightly grids sweep hundreds of topologies and
+#: must not hold every graph alive; oldest entries are evicted first.
+WORKER_CACHE_LIMIT = 64
+
+
+def _bounded_put(cache: Dict, key, value) -> None:
+    if len(cache) >= WORKER_CACHE_LIMIT:
+        cache.pop(next(iter(cache)))  # insertion order: evict the oldest
+    cache[key] = value
+
+
+def cached_graph(spec: TopologySpec) -> DiGraph:
+    """The worker-cached :class:`DiGraph` of a topology spec.
+
+    The graph instance also carries its shared
+    :class:`~repro.graphs.bitset.BitsetIndex`, so reach/SCC memos warm up
+    across every cell of the same topology.
+    """
+    graph = _GRAPH_CACHE.get(spec)
+    if graph is None:
+        graph = spec.build()
+        _bounded_put(_GRAPH_CACHE, spec, graph)
+    return graph
+
+
+def cached_topology_knowledge(
+    spec: TopologySpec, f: int, path_policy: str
+) -> "TopologyKnowledge":
+    """Worker-cached :class:`~repro.algorithms.topology.TopologyKnowledge`.
+
+    Keyed on ``(topology recipe, f, path policy)`` — everything the
+    precomputation depends on.  The knowledge shares the graph from
+    :func:`cached_graph`, so its engine and reach caches are shared too.
+    """
+    from repro.algorithms.topology import TopologyKnowledge
+
+    key = (spec, f, path_policy)
+    knowledge = _KNOWLEDGE_CACHE.get(key)
+    if knowledge is None:
+        knowledge = TopologyKnowledge(cached_graph(spec), f, path_policy)
+        _bounded_put(_KNOWLEDGE_CACHE, key, knowledge)
+    return knowledge
+
+
+def warm_worker_caches(spec: GridSpec, cells: List[SweepCell]) -> None:
+    """Pre-build every topology object the cells of ``spec`` will need.
+
+    Called by :class:`~repro.runner.harness.SweepEngine` in the parent
+    process *before* forking the worker pool: on fork-based platforms the
+    children then share the graphs, bitmask indexes and TopologyKnowledge
+    (including any eager per-algorithm machinery) via copy-on-write instead
+    of each worker rebuilding them.  On spawn platforms the call is
+    wasted-but-harmless parent work.
+
+    What an algorithm needs warmed is the algorithm's business: each
+    registered :class:`~repro.runner.algorithms.AlgorithmSpec` may declare a
+    ``warm(spec, cell)`` hook, invoked once per distinct
+    ``(algorithm, topology, f)`` combination.
+    """
+    from repro.registry import ALGORITHMS
+
+    seen = set()
+    for cell in cells:
+        cached_graph(cell.topology)
+        warm = ALGORITHMS.get(cell.algorithm).warm
+        if warm is None:
+            continue
+        key = (cell.algorithm, cell.topology, cell.f)
+        if key in seen:
+            continue
+        seen.add(key)
+        warm(spec, cell)
+
+
+def worker_cache_stats() -> Dict[str, int]:
+    """Sizes of this process's topology caches (diagnostics)."""
+    return {"graphs": len(_GRAPH_CACHE), "knowledge": len(_KNOWLEDGE_CACHE)}
+
+
+def clear_worker_caches() -> None:
+    """Drop the process-global topology caches (tests / cold-start benches)."""
+    _GRAPH_CACHE.clear()
+    _KNOWLEDGE_CACHE.clear()
+
+
+__all__ = [
+    "WORKER_CACHE_LIMIT",
+    "cached_graph",
+    "cached_topology_knowledge",
+    "clear_worker_caches",
+    "warm_worker_caches",
+    "worker_cache_stats",
+]

@@ -32,7 +32,7 @@ from repro.network.node import Process
 from repro.network.simulator import Simulator
 from repro.runner.artifacts import artifact_payload
 from repro.runner.harness import GridSpec, SweepEngine, TopologySpec
-from repro.runner.scenarios import (
+from repro.runner.worker_cache import (
     cached_graph,
     cached_topology_knowledge,
     clear_worker_caches,

@@ -34,6 +34,84 @@ class TestInProcess:
         for name in ("figure1a", "figure1b", "definition1", "table1", "necessity"):
             assert name in out
 
+    def test_list_shows_grid_axes_from_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "grid axes" in out
+        assert "f=1,2" in out  # resilience/table grids sweep two fault bounds
+        assert "two-cliques" in out
+
+    def test_list_plugins_shows_every_registry(self, capsys):
+        assert main(["list", "--plugins"]) == 0
+        out = capsys.readouterr().out
+        for section in ("topologies", "behaviors", "placements", "algorithms", "delays"):
+            assert section in out
+        assert "offset:offset" in out  # behaviour parameter schema rendered
+        assert "check-necessity" in out and "consensus" in out
+        assert "uniform:low,high" in out
+
+    def test_run_scenario_file(self, tmp_path, capsys):
+        scenario_file = tmp_path / "tiny.toml"
+        scenario_file.write_text(
+            "\n".join(
+                (
+                    'name = "tiny_probe"',
+                    'description = "one-cell scenario-file smoke test"',
+                    "[spec]",
+                    'algorithms = ["check-reach"]',
+                    "f_values = [1]",
+                    'behaviors = ["-"]',
+                    'placements = ["-"]',
+                    "seeds = [0]",
+                    "[[spec.topologies]]",
+                    'family = "clique"',
+                    "params = { n = 4 }",
+                )
+            ),
+            encoding="utf-8",
+        )
+        target = tmp_path / "tiny.json"
+        code = main(
+            ["run", "--scenario-file", str(scenario_file), "--output", str(target),
+             "--no-table"]
+        )
+        assert code == 0
+        payload = load_artifact(target)
+        assert payload["scenario"] == "tiny_probe"
+        assert payload["totals"]["cells"] == 1
+
+    def test_run_scenario_file_with_unknown_plugin_is_a_clean_error(self, tmp_path, capsys):
+        scenario_file = tmp_path / "bad.toml"
+        scenario_file.write_text(
+            "\n".join(
+                (
+                    'name = "bad_probe"',
+                    "[spec]",
+                    'algorithms = ["check-rech"]',
+                    'behaviors = ["-"]',
+                    'placements = ["-"]',
+                    "[[spec.topologies]]",
+                    'family = "clique"',
+                    "params = { n = 4 }",
+                )
+            ),
+            encoding="utf-8",
+        )
+        code = main(["run", "--scenario-file", str(scenario_file), "--output",
+                     str(tmp_path / "bad.json")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "check-reach" in err  # the did-you-mean suggestion
+
+    def test_run_without_selection_is_a_clean_error(self, capsys):
+        assert main(["run"]) == 2
+        assert "nothing to run" in capsys.readouterr().err
+
+    def test_run_with_unimportable_plugin_module_is_a_clean_error(self, capsys):
+        code = main(["run", "--plugins", "no_such_plugin_module", "--scenario", "necessity"])
+        assert code == 2
+        assert "no_such_plugin_module" in capsys.readouterr().err
+
     def test_run_writes_artifact_and_prints_table(self, tmp_path, capsys):
         target = tmp_path / "table1.json"
         code = main(
@@ -109,3 +187,59 @@ class TestSubprocess:
         assert ran.returncode == 0, ran.stderr
         payload = load_artifact(tmp_path / "necessity.json")
         assert payload["totals"]["cells"] == 2
+
+    def test_plugins_module_and_scenario_file(self, tmp_path):
+        """The full third-party flow: --plugins registers a custom topology,
+        a scenario TOML references it, the sweep runs sharded."""
+        (tmp_path / "cli_probe_plugins.py").write_text(
+            "\n".join(
+                (
+                    "from repro.api import TOPOLOGIES, DiGraph",
+                    "",
+                    "",
+                    '@TOPOLOGIES.register("cli-probe-path")',
+                    "def probe_path(n):",
+                    "    graph = DiGraph(name=f'probe-{n}')",
+                    "    for node in range(n):",
+                    "        graph.add_node(node)",
+                    "    for node in range(n - 1):",
+                    "        graph.add_bidirectional_edge(node, node + 1)",
+                    "    return graph",
+                )
+            ),
+            encoding="utf-8",
+        )
+        (tmp_path / "probe.toml").write_text(
+            "\n".join(
+                (
+                    'name = "cli_probe"',
+                    "[spec]",
+                    'algorithms = ["check-reach"]',
+                    "f_values = [1]",
+                    'behaviors = ["-"]',
+                    'placements = ["-"]',
+                    "seeds = [0]",
+                    "[[spec.topologies]]",
+                    'family = "cli-probe-path"',
+                    "params = { n = 5 }",
+                )
+            ),
+            encoding="utf-8",
+        )
+        ran = _run_module(
+            ["run", "--plugins", "cli_probe_plugins", "--scenario-file", "probe.toml",
+             "--workers", "2", "--output", str(tmp_path / "probe.json"), "--no-table"],
+            cwd=tmp_path,
+        )
+        assert ran.returncode == 0, ran.stderr
+        payload = load_artifact(tmp_path / "probe.json")
+        assert payload["scenario"] == "cli_probe"
+        assert payload["cells"][0]["topology"] == "cli-probe-path(n=5)"
+        # without the plugin module the same run fails eagerly, listing names
+        failed = _run_module(
+            ["run", "--scenario-file", "probe.toml", "--output",
+             str(tmp_path / "nope.json")],
+            cwd=tmp_path,
+        )
+        assert failed.returncode == 2
+        assert "registered topologies" in failed.stderr

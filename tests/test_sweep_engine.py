@@ -15,11 +15,10 @@ from repro.runner.harness import (
     derive_cell_seed,
     run_grid,
 )
+from repro.runner.algorithms import resolve_placement
 from repro.runner.scenarios import (
     SCENARIOS,
-    build_topology,
     get_scenario,
-    resolve_placement,
     run_cell,
     scenario_names,
 )
@@ -83,10 +82,10 @@ class TestCellExecution:
 
     def test_unknown_topology_rejected(self):
         with pytest.raises(ExperimentError):
-            build_topology(TopologySpec.make("not-a-family"))
+            TopologySpec.make("not-a-family").build()
 
     def test_placement_resolution(self):
-        graph = build_topology(TopologySpec.make("clique", n=4))
+        graph = TopologySpec.make("clique", n=4).build()
         assert resolve_placement("none", graph, 1, seed=1) == frozenset()
         assert resolve_placement("last", graph, 1, seed=1) == frozenset({3})
         assert len(resolve_placement("random", graph, 2, seed=9)) == 2
@@ -98,7 +97,7 @@ class TestCellExecution:
 
     def test_last_placement_sorts_integer_labels_numerically(self):
         # repr order would put 10 and 11 before 2; 'last' must pick {10, 11}.
-        graph = build_topology(TopologySpec.make("clique", n=12))
+        graph = TopologySpec.make("clique", n=12).build()
         assert resolve_placement("last", graph, 2, seed=1) == frozenset({10, 11})
 
     def test_unknown_input_generator_rejected(self):
