@@ -1,0 +1,122 @@
+"""Journal overhead probe — what durable journaling costs the hot path.
+
+The api-v2 :class:`~repro.runner.session.ExperimentSession` appends every
+completed cell to a JSONL journal (flushed per record, fsynced at
+checkpoints).  That durability must be effectively free relative to cell
+execution: this benchmark runs the BW-heavy ``bw_clique5``-shaped probe from
+``bench_hotpath.py`` (redundant-path flooding, ~40k deliveries per
+adversarial cell — the workload journals exist for) twice through the
+session API — events only, and events + journal — and records the overhead
+ratio into ``benchmarks/results/BENCH_journal.json``.  The CI ``perf-smoke``
+job fails the build when the measured overhead exceeds 5 %.
+
+Both sides are measured best-of-:data:`REPEATS` with cold worker caches, so
+one scheduling hiccup cannot poison the committed claim; the serial engine
+is used on both sides so the ratio isolates exactly the journal layer
+(serialization + append + fsync per cell).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import time
+from typing import Dict, Optional
+
+import pytest
+
+from repro.runner.harness import GridSpec, TopologySpec
+from repro.runner.reporting import format_table
+from repro.runner.session import ExperimentSession
+from repro.runner.worker_cache import clear_worker_caches
+
+#: Same shape as bench_hotpath's ``bw_clique5`` probe: redundant-path
+#: flooding BW on the 5-clique, the workload where per-cell work (hundreds
+#: of milliseconds) dwarfs journal bookkeeping.  Journal overhead is a
+#: *per-cell* cost, so the heavy-cell probe is the honest denominator —
+#: grids with milliseconds-long cells pay proportionally more and should
+#: simply run without ``--journal``.
+JOURNAL_PROBE = GridSpec(
+    name="journal_probe",
+    algorithms=("bw",),
+    topologies=(TopologySpec.make("clique", n=5),),
+    f_values=(1,),
+    behaviors=("crash", "fixed-high"),
+    placements=("random",),
+    seeds=(1, 2, 3, 4, 5),
+    epsilon=0.25,
+    path_policy="redundant",
+)
+
+#: Measurement repetitions per side; the best (lowest seconds) run is kept.
+REPEATS = 3
+
+
+def _measure(run_dir_factory) -> Dict[str, float]:
+    best_seconds = float("inf")
+    cells = 0
+    for repeat in range(REPEATS):
+        clear_worker_caches()  # both sides pay the full cold-start cost
+        run_dir = run_dir_factory(repeat)
+        session = ExperimentSession(JOURNAL_PROBE, mode="full", workers=1, run_dir=run_dir)
+        start = time.perf_counter()
+        result = session.run()
+        elapsed = time.perf_counter() - start
+        cells = len(result.cells)
+        best_seconds = min(best_seconds, elapsed)
+    return {
+        "cells": cells,
+        "seconds": round(best_seconds, 4),
+        "cells_per_second": round(cells / best_seconds, 2) if best_seconds else None,
+    }
+
+
+@pytest.mark.benchmark(group="journal")
+def test_journal_overhead(benchmark, tmp_path, write_result, results_dir):
+    records: Dict[str, Dict[str, object]] = {}
+
+    def run_both():
+        records["events_only"] = _measure(lambda repeat: None)
+
+        def journaled_dir(repeat):
+            run_dir = tmp_path / f"journal-{repeat}"
+            shutil.rmtree(run_dir, ignore_errors=True)
+            return run_dir
+
+        records["events_plus_journal"] = _measure(journaled_dir)
+        return records
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    plain = records["events_only"]["seconds"]
+    journaled = records["events_plus_journal"]["seconds"]
+    overhead: Optional[float] = round(journaled / plain - 1.0, 4) if plain else None
+    payload = {
+        "schema": 1,
+        "grid": JOURNAL_PROBE.name,
+        "cells": records["events_only"]["cells"],
+        "repeats": REPEATS,
+        "workers": 1,
+        "events_only": records["events_only"],
+        "events_plus_journal": records["events_plus_journal"],
+        "overhead_ratio": overhead,
+        "claim": "journaling (append+fsync per cell) costs < 5% on the BW-heavy probe",
+    }
+    (results_dir / "BENCH_journal.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    rows = [
+        ["events only", plain, records["events_only"]["cells_per_second"], "-"],
+        [
+            "events + journal",
+            journaled,
+            records["events_plus_journal"]["cells_per_second"],
+            f"{overhead * 100:.2f}%" if overhead is not None else "-",
+        ],
+    ]
+    write_result(
+        "bench_journal",
+        format_table(["mode", "seconds", "cells/s", "overhead"], rows),
+    )
+    assert records["events_only"]["cells"] == JOURNAL_PROBE.num_cells
+    assert records["events_plus_journal"]["cells"] == JOURNAL_PROBE.num_cells

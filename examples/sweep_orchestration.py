@@ -6,7 +6,10 @@ Shows the full experiment pipeline the benchmarks and CI ride on:
 2. run its grid through the :class:`SweepEngine` — serially and sharded
    across two worker processes — and check both runs agree exactly;
 3. write the canonical JSON artifact and gate a reloaded copy against it
-   with ``compare`` (the regression check CI applies to every PR).
+   with ``compare`` (the regression check CI applies to every PR);
+4. drive the same grid through the streaming api-v2
+   :class:`ExperimentSession` — journaled events, a simulated crash after
+   the first cell, and a resume that lands byte-identically.
 
 Run with:  python examples/sweep_orchestration.py
 """
@@ -17,10 +20,13 @@ import tempfile
 from pathlib import Path
 
 from repro.runner import (
+    CellCompleted,
+    ExperimentSession,
     SweepEngine,
     compare,
     get_scenario,
     load_artifact,
+    load_journal,
     render_sweep_groups,
     write_artifact,
 )
@@ -49,10 +55,36 @@ def main() -> None:
         print(report.describe())
         assert report.ok, "a run must never drift from itself"
 
+    # 4. Sessions (api v2): stream events, journal every cell, survive a
+    #    crash.  We drop the run after its first cell — closing the event
+    #    iterator stands in for SIGINT/OOM — then resume from the journal.
+    with tempfile.TemporaryDirectory() as tmp:
+        run_dir = Path(tmp) / "run"
+        session = ExperimentSession(spec, mode="quick", run_dir=run_dir)
+        events = session.events()
+        for event in events:
+            if isinstance(event, CellCompleted):
+                print(f"cell {event.result.index} done "
+                      f"({event.completed}/{event.total}) ... simulating a crash")
+                events.close()
+                break
+        journal = load_journal(run_dir)
+        assert not journal.sealed and len(journal.cells) == 1
+
+        resumed = ExperimentSession.resume(run_dir)
+        replayed = sum(
+            1 for event in resumed.events()
+            if isinstance(event, CellCompleted) and event.replayed
+        )
+        print(f"resumed: {replayed} cell replayed from the journal, "
+              f"{resumed.finished.completed - replayed} executed fresh")
+        assert resumed.result.cells == serial.cells, "resume must lose nothing"
+
     # The sweep's claim: the Byzantine-Witness algorithm defeats every
     # behaviour in the quick grid (Definition 1 holds per cell).
     assert all(cell.success for cell in serial.cells)
-    print("\nevery cell satisfied Definition 1; sharded == serial; no drift.")
+    print("\nevery cell satisfied Definition 1; sharded == serial; "
+          "crash+resume == serial; no drift.")
 
 
 if __name__ == "__main__":

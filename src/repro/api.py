@@ -3,14 +3,17 @@
 Everything a downstream user (or plugin package) should need is re-exported
 here; internals are free to move as long as this module keeps working.
 :data:`API_VERSION` is bumped when anything in ``__all__`` changes
-incompatibly.
+incompatibly.  **Version 2** redesigns the run surface around streaming,
+resumable :class:`ExperimentSession`\\ s; every v1 name remains importable
+(deprecated names emit a :class:`DeprecationWarning` and are listed in
+:data:`DEPRECATED_V1_NAMES` — migration table in ``EXPERIMENTS.md``).
 
-The surface has four layers:
+The surface has five layers:
 
-**Registries** (:class:`Registry` and the five instances) — register custom
-topology families, Byzantine behaviours, fault placements, algorithms and
-delay models by name; grids and scenario TOML files then reference them like
-the built-ins::
+**Registries** (:class:`Registry` and the six instances) — register custom
+topology families, Byzantine behaviours, fault placements, algorithms,
+delay models and session stop policies by name; grids and scenario TOML
+files then reference them like the built-ins::
 
     from repro.api import BEHAVIORS, TOPOLOGIES
 
@@ -20,9 +23,24 @@ the built-ins::
     BEHAVIORS.register("stutter", lambda copies=2: ReplayBehavior(int(copies)),
                        metadata={"params": ("copies",), "min_params": 0})
 
+**Sessions** (the v2 run surface) — :class:`ExperimentSession` wraps a
+:class:`GridSpec` (plus an optional run directory) and streams typed events
+(:class:`RunStarted`, :class:`CellCompleted`, :class:`GroupUpdated`,
+:class:`CheckpointWritten`, :class:`RunFinished`) as cells finish, serially
+or sharded with byte-identical artifacts either way.  With a run directory
+every completed cell is fsynced to a JSONL journal
+(:class:`Journal` / :func:`load_journal`), ``ExperimentSession.resume``
+continues interrupted runs, and :class:`StopPolicy` plugins
+(:data:`STOP_POLICIES`) seal runs early::
+
+    session = ExperimentSession(spec, workers=4, run_dir="runs/table2.full")
+    for event in session.events():
+        ...
+    session.write_artifact("table2.full.json")
+
 **Sweeps** — :class:`GridSpec` (declarative grids over algorithm × topology
-× f × behaviour × placement × seed), :class:`SweepEngine` / :func:`run_grid`
-(serial or sharded execution with byte-identical artifacts), and
+× f × behaviour × placement × seed), :class:`SweepEngine` (the low-level
+executor sessions drive; its ``stream()`` is the observer hook), and
 :class:`Scenario` with the TOML loaders from
 :mod:`repro.runner.scenario_files`.
 
@@ -30,14 +48,18 @@ the built-ins::
 and the baseline drivers, plus :func:`quick_consensus` for one-liners.
 
 **Artifacts** — :func:`write_artifact` / :func:`load_artifact` /
-:func:`compare` for the canonical JSON documents CI gates on.
+:func:`compare` for the canonical JSON documents CI gates on; journaled
+sessions *derive* the same bytes from their journal.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro import quick_consensus
 from repro.algorithms.base import ConsensusConfig
 from repro.exceptions import (
+    JournalError,
     ReproError,
     ScenarioFileError,
     UnknownPluginError,
@@ -46,10 +68,10 @@ from repro.graphs.digraph import DiGraph
 from repro.registry import (
     ALGORITHMS,
     ALL_REGISTRIES,
-    API_VERSION,
     BEHAVIORS,
     DELAYS,
     PLACEMENTS,
+    STOP_POLICIES,
     TOPOLOGIES,
     Registry,
     RegistryEntry,
@@ -58,6 +80,7 @@ from repro.registry import (
 from repro.runner.algorithms import AlgorithmSpec
 from repro.runner.artifacts import (
     ComparisonReport,
+    artifact_payload,
     compare,
     compare_files,
     load_artifact,
@@ -75,12 +98,20 @@ from repro.runner.harness import (
     CellResult,
     GridSpec,
     GroupAggregate,
+    StopSweep,
     SweepCell,
     SweepEngine,
     SweepRunResult,
     TopologySpec,
-    run_grid,
 )
+from repro.runner.journal import (
+    Journal,
+    JournalWriter,
+    journal_from_artifact,
+    journal_path,
+    load_journal,
+)
+from repro.runner.reporting import SessionProgress
 from repro.runner.scenario_files import (
     Scenario,
     dump_scenario_toml,
@@ -88,22 +119,65 @@ from repro.runner.scenario_files import (
     load_scenario_text,
 )
 from repro.runner.scenarios import SCENARIOS, get_scenario, run_cell, scenario_names
+from repro.runner.session import (
+    CellCompleted,
+    CheckpointWritten,
+    ExperimentSession,
+    GroupUpdated,
+    RunFinished,
+    RunStarted,
+    SessionEvent,
+    StopPolicy,
+    make_stop_policy,
+    run_session,
+)
+
+#: Version of this public surface (the single source of truth; the legacy
+#: ``repro.registry.API_VERSION`` import path forwards here).  2 = streaming
+#: execution sessions (events / journals / resume / stop policies).
+API_VERSION = 2
+
+#: v1 names superseded in api v2, kept importable as deprecation shims:
+#: ``name -> (replacement hint, removal horizon)``.
+DEPRECATED_V1_NAMES = {
+    "run_grid": ("ExperimentSession(spec, workers=N).run()", "api v3"),
+}
+
+
+def __getattr__(name: str):
+    """Serve deprecated v1 names with a :class:`DeprecationWarning`."""
+    if name in DEPRECATED_V1_NAMES:
+        replacement, horizon = DEPRECATED_V1_NAMES[name]
+        warnings.warn(
+            f"repro.api.{name} is deprecated since api v2; use {replacement} "
+            f"(removal: {horizon})",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.runner import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+
 
 __all__ = [
     # versioning
     "API_VERSION",
+    "DEPRECATED_V1_NAMES",
     # registries
     "ALGORITHMS",
     "ALL_REGISTRIES",
     "BEHAVIORS",
     "DELAYS",
     "PLACEMENTS",
+    "STOP_POLICIES",
     "TOPOLOGIES",
     "Registry",
     "RegistryEntry",
     "AlgorithmSpec",
     "parse_plugin_spec",
     # errors
+    "JournalError",
     "ReproError",
     "ScenarioFileError",
     "UnknownPluginError",
@@ -113,12 +187,30 @@ __all__ = [
     "CellResult",
     "GridSpec",
     "GroupAggregate",
+    "StopSweep",
     "SweepCell",
     "SweepEngine",
     "SweepRunResult",
     "TopologySpec",
     "run_cell",
-    "run_grid",
+    # sessions (api v2)
+    "CellCompleted",
+    "CheckpointWritten",
+    "ExperimentSession",
+    "GroupUpdated",
+    "RunFinished",
+    "RunStarted",
+    "SessionEvent",
+    "SessionProgress",
+    "StopPolicy",
+    "make_stop_policy",
+    "run_session",
+    # journals (api v2)
+    "Journal",
+    "JournalWriter",
+    "journal_from_artifact",
+    "journal_path",
+    "load_journal",
     # scenarios
     "SCENARIOS",
     "Scenario",
@@ -137,8 +229,11 @@ __all__ = [
     "run_local_average_experiment",
     # artifacts
     "ComparisonReport",
+    "artifact_payload",
     "compare",
     "compare_files",
     "load_artifact",
     "write_artifact",
+    # deprecated v1 shims (module __getattr__)
+    "run_grid",
 ]

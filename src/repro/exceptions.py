@@ -78,6 +78,17 @@ class ArtifactError(ExperimentError):
     """Raised when a sweep artifact is missing, malformed or incompatible."""
 
 
+class JournalError(ArtifactError):
+    """Raised when an execution journal is missing, malformed, sealed when it
+    must not be, or disagrees with the grid it claims to record.
+
+    A *truncated final line* is not an error — that is the expected shape of
+    a crash mid-append, and readers silently drop it (the tail-truncation
+    recovery rule in :mod:`repro.runner.journal`).  Everything else —
+    corruption before the tail, records after the seal, duplicate cell
+    indexes, a spec-hash mismatch on resume — raises this."""
+
+
 class RegistryError(ReproError):
     """Raised on invalid registry mutations (duplicate name, frozen registry)."""
 

@@ -50,8 +50,16 @@ from repro.exceptions import ExperimentError, RegistryError, UnknownPluginError
 
 T = TypeVar("T")
 
-#: Current version of the stable plugin/registry API (see :mod:`repro.api`).
-API_VERSION = 1
+
+def __getattr__(name: str):
+    """Back-compat: ``API_VERSION`` moved to its canonical home in
+    :mod:`repro.api` with the v2 (streaming sessions) bump; keep the old
+    ``from repro.registry import API_VERSION`` import path working."""
+    if name == "API_VERSION":
+        from repro.api import API_VERSION
+
+        return API_VERSION
+    raise AttributeError(f"module 'repro.registry' has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -315,6 +323,13 @@ ALGORITHMS: Registry = Registry("algorithm", providers=("repro.runner.algorithms
 #: ``(*args) -> DelayModel`` with ``params`` metadata like behaviours.
 DELAYS: Registry = Registry("delay", providers=("repro.network.delays",))
 
+#: Session stop policies (``run --stop-policy name:args``).  Registered
+#: objects are factories ``(*args) -> StopPolicy`` with ``params`` metadata
+#: like behaviours; built-ins live in :mod:`repro.runner.session`.
+STOP_POLICIES: Registry = Registry(
+    "stop-policy", providers=("repro.runner.session",), plural="stop-policies"
+)
+
 #: Every registry, keyed by its plural CLI/docs name.
 ALL_REGISTRIES: Dict[str, Registry] = {
     "topologies": TOPOLOGIES,
@@ -322,6 +337,7 @@ ALL_REGISTRIES: Dict[str, Registry] = {
     "placements": PLACEMENTS,
     "algorithms": ALGORITHMS,
     "delays": DELAYS,
+    "stop-policies": STOP_POLICIES,
 }
 
 
@@ -334,6 +350,7 @@ __all__ = [
     "PLACEMENTS",
     "Registry",
     "RegistryEntry",
+    "STOP_POLICIES",
     "TOPOLOGIES",
     "parse_plugin_spec",
     "validate_plugin_args",

@@ -43,6 +43,35 @@ committed as TOML files under ``src/repro/runner/scenarios/`` (format in
 :mod:`repro.runner.scenario_files`) and user scenario files run via
 ``python -m repro.runner run --scenario-file path.toml``.  The curated,
 versioned import surface for all of this is :mod:`repro.api`.
+
+**Sessions, journals, resume (api v2).**  The run surface is the streaming
+:class:`~repro.runner.session.ExperimentSession`: ``session.events()``
+yields typed events (``RunStarted`` / ``CellCompleted`` / ``GroupUpdated``
+/ ``CheckpointWritten`` / ``RunFinished``) as cells finish — identically
+for serial and sharded execution — ``session.iter_results()`` is the
+cell-level view and ``session.run()`` the blocking form.  With a run
+directory, completed cells are appended (flushed per record, fsynced at
+checkpoints) to the schema-versioned JSONL journal in
+:mod:`repro.runner.journal`;
+``ExperimentSession.resume(run_dir)`` verifies the journal's spec hash,
+skips completed cell indexes and continues, producing an artifact
+byte-identical to the uninterrupted run.  ``StopPolicy`` plugins
+(:data:`~repro.registry.STOP_POLICIES`: ``max-cells`` / ``max-wall-time``
+/ ``group-converged``) watch the event stream and seal a run early.
+
+**CLI exit codes** (``python -m repro.runner``, implemented in
+:mod:`repro.runner.cli`):
+
+====  ==============================================================
+code  meaning
+====  ==============================================================
+0     success — including ``run`` sealed early by a ``--stop-policy``
+      (the CLI names the policy that sealed the run)
+1     ``compare`` found drift against the baseline artifact
+2     usage / configuration error (any :class:`~repro.exceptions.ReproError`)
+3     a ``--journal`` run was interrupted (e.g. SIGINT); completed cells
+      are durable and the printed ``run --resume RUN_DIR`` continues it
+====  ==============================================================
 ``epsilon`` / ``input_low`` / ``input_high`` / ``inputs`` / ``path_policy`` / ``rounds``
     Shared execution parameters: the agreement parameter, the known input
     range, the input generator (``"spread"`` or ``"random"``), the BW
@@ -91,6 +120,7 @@ from repro.runner.harness import (
     CellResult,
     GridSpec,
     GroupAggregate,
+    StopSweep,
     SweepCell,
     SweepEngine,
     SweepResult,
@@ -103,6 +133,13 @@ from repro.runner.harness import (
     spread_inputs,
     sweep_behaviors,
 )
+from repro.runner.journal import (
+    Journal,
+    JournalWriter,
+    journal_from_artifact,
+    journal_path,
+    load_journal,
+)
 from repro.runner.metrics import (
     ConsensusOutcome,
     aggregate_success_rate,
@@ -111,12 +148,25 @@ from repro.runner.metrics import (
     rounds_until,
 )
 from repro.runner.reporting import (
+    SessionProgress,
     banner,
     format_check,
     format_table,
     print_table,
     render_sweep_groups,
     sweep_group_rows,
+)
+from repro.runner.session import (
+    CellCompleted,
+    CheckpointWritten,
+    ExperimentSession,
+    GroupUpdated,
+    RunFinished,
+    RunStarted,
+    SessionEvent,
+    StopPolicy,
+    make_stop_policy,
+    run_session,
 )
 from repro.runner.scenario_files import (
     Scenario,
@@ -148,15 +198,32 @@ __all__ = [
     "run_crash_experiment",
     "run_iterative_experiment",
     "run_local_average_experiment",
+    "CellCompleted",
     "CellResult",
+    "CheckpointWritten",
+    "ExperimentSession",
     "GridSpec",
     "GroupAggregate",
+    "GroupUpdated",
+    "Journal",
+    "JournalWriter",
+    "RunFinished",
+    "RunStarted",
+    "SessionEvent",
+    "SessionProgress",
+    "StopPolicy",
+    "StopSweep",
     "SweepCell",
     "SweepEngine",
     "SweepResult",
     "SweepRunResult",
     "TopologySpec",
     "aggregate_cells",
+    "journal_from_artifact",
+    "journal_path",
+    "load_journal",
+    "make_stop_policy",
+    "run_session",
     "derive_cell_seed",
     "random_inputs",
     "run_grid",

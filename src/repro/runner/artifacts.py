@@ -30,6 +30,7 @@ looks at them, so baselines recorded on one machine gate runs on another.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import platform
 import subprocess
@@ -105,14 +106,27 @@ def artifact_payload(
     result: SweepRunResult,
     mode: str = "full",
     repo_dir: Optional[PathLike] = None,
+    provenance: Optional[Mapping[str, object]] = None,
 ) -> Dict[str, object]:
     """Deterministic JSON-ready payload for a sweep run.
 
     Identical grids produce identical payloads regardless of worker count:
     cells are emitted in index order and no timing fields are included.
+
+    ``provenance`` — a mapping with ``environment`` and ``git`` keys —
+    overrides the freshly probed metadata.  Journal-backed sessions pass
+    the values recorded in the journal header, so an artifact derived from
+    a journal (including one resumed on a later commit) is byte-identical
+    to the artifact the uninterrupted original run would have written.
     """
     if mode not in ("quick", "full"):
         raise ArtifactError(f"mode must be 'quick' or 'full', got {mode!r}")
+    if provenance is not None:
+        environment = provenance.get("environment")
+        git = provenance.get("git")
+    else:
+        environment = environment_metadata()
+        git = git_metadata(repo_dir)
     successes = sum(1 for cell in result.cells if cell.success)
     return {
         "schema_version": SCHEMA_VERSION,
@@ -120,8 +134,8 @@ def artifact_payload(
         "scenario": result.spec.name,
         "mode": mode,
         "spec": result.spec.as_dict(),
-        "environment": environment_metadata(),
-        "git": git_metadata(repo_dir),
+        "environment": environment,
+        "git": git,
         "totals": {
             "cells": len(result.cells),
             "successes": successes,
@@ -142,13 +156,25 @@ def write_artifact(
     result: SweepRunResult,
     mode: str = "full",
     repo_dir: Optional[PathLike] = None,
+    provenance: Optional[Mapping[str, object]] = None,
 ) -> Dict[str, object]:
-    """Serialize ``result`` to ``path`` (creating parent directories)."""
-    payload = artifact_payload(result, mode=mode, repo_dir=repo_dir)
+    """Serialize ``result`` to ``path`` (creating parent directories).
+
+    The write is atomic (temp file + rename), so an interrupt mid-write
+    leaves either the previous artifact or the new one — never a torn file.
+    """
+    payload = artifact_payload(result, mode=mode, repo_dir=repo_dir, provenance=provenance)
+    write_payload(path, payload)
+    return payload
+
+
+def write_payload(path: PathLike, payload: Mapping[str, object]) -> None:
+    """Atomically write an already-built payload in canonical form."""
     target = pathlib.Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(dumps_canonical(payload), encoding="utf-8")
-    return payload
+    scratch = target.with_name(target.name + ".tmp")
+    scratch.write_text(dumps_canonical(payload), encoding="utf-8")
+    os.replace(scratch, target)
 
 
 def validate_artifact(payload: Mapping[str, object]) -> None:
@@ -342,4 +368,5 @@ __all__ = [
     "load_artifact",
     "validate_artifact",
     "write_artifact",
+    "write_payload",
 ]

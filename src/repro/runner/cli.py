@@ -7,14 +7,19 @@ Four subcommands drive the whole experiment surface:
     grid-axis detail (topology families × behaviours × f values, derived
     from the plugin registries).  ``--plugins`` lists every registered
     extension instead: topology families, behaviours (with parameter
-    schemas), placements, algorithms and delay models.
+    schemas), placements, algorithms, delay models and stop policies.
 ``run``
     Expand a scenario's grid — a registered name (``--scenario``) or a
-    declarative TOML file (``--scenario-file``) — execute it (optionally
-    sharded across worker processes), print the aggregate table and write
-    the canonical JSON artifact.  ``--quick`` selects the CI-sized grid;
-    ``--plugins MODULE`` imports a module first so it can register custom
-    extensions (topologies, behaviours, ...) for the run.
+    declarative TOML file (``--scenario-file``) — and drive it through an
+    :class:`~repro.runner.session.ExperimentSession` (optionally sharded
+    across worker processes), printing the aggregate table and writing the
+    canonical JSON artifact.  ``--journal`` makes the run durable (every
+    completed cell appended to ``<run dir>/journal.jsonl``), ``--resume
+    RUN_DIR`` continues an interrupted journaled run, ``--stop-policy
+    NAME:ARGS`` seals a run early, and ``--progress`` renders a live
+    progress line from the event stream.  ``--quick`` selects the CI-sized
+    grid; ``--plugins MODULE`` imports a module first so it can register
+    custom extensions (topologies, behaviours, stop policies, ...).
 ``compare``
     Diff a freshly generated artifact against a stored baseline and exit
     nonzero on drift — the regression gate CI builds on.
@@ -23,13 +28,19 @@ Four subcommands drive the whole experiment surface:
     (expansion / topology precomputation / cell execution) — the entry
     point for hot-path investigations.
 
+Exit codes (documented in :mod:`repro.runner`): 0 success — including runs
+sealed early by a stop policy; 1 ``compare`` drift; 2 usage/configuration
+errors; 3 a journaled run was interrupted and is resumable.
+
 Examples
 --------
 ::
 
     python -m repro.runner list --plugins
     python -m repro.runner run --scenario figure1b --workers 4 --quick
-    python -m repro.runner run --scenario-file my_sweep.toml
+    python -m repro.runner run --scenario table2 --journal --progress
+    python -m repro.runner run --resume benchmarks/results/runs/table2.full
+    python -m repro.runner run --scenario necessity --stop-policy max-cells:100
     python -m repro.runner compare benchmarks/baselines/figure1b.quick.json \\
         benchmarks/results/figure1b.quick.json
     python -m repro.runner profile --scenario definition1 --quick --top 15
@@ -46,13 +57,13 @@ import pstats
 import sys
 import time
 from collections import Counter
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.exceptions import ReproError
 from repro.registry import ALL_REGISTRIES
-from repro.runner.artifacts import compare_files, write_artifact
+from repro.runner.artifacts import compare_files
 from repro.runner.harness import NOT_APPLICABLE, GridSpec, SweepEngine
-from repro.runner.reporting import format_table, render_sweep_groups
+from repro.runner.reporting import SessionProgress, format_table
 from repro.runner.scenario_files import Scenario, load_scenario_file
 from repro.runner.scenarios import (
     SCENARIOS,
@@ -60,9 +71,24 @@ from repro.runner.scenarios import (
     get_scenario,
     warm_worker_caches,
 )
+from repro.runner.session import (
+    CellCompleted,
+    ExperimentSession,
+    RunFinished,
+    RunStarted,
+)
 
 #: Default artifact directory (relative to the invocation directory).
 DEFAULT_OUTPUT_DIR = pathlib.Path("benchmarks") / "results"
+
+#: Default parent of journaled run directories (``<name>.<mode>`` inside).
+DEFAULT_RUNS_DIR = DEFAULT_OUTPUT_DIR / "runs"
+
+# Process exit codes (also documented in repro/runner/__init__.py).
+EXIT_OK = 0  # success, including runs sealed early by a stop policy
+EXIT_DRIFT = 1  # `compare` found drift against the baseline
+EXIT_ERROR = 2  # usage or configuration error (ReproError)
+EXIT_INTERRUPTED = 3  # journaled run interrupted; resumable via run --resume
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -134,6 +160,41 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--no-table", action="store_true", help="suppress the aggregate table on stdout"
+    )
+    run_parser.add_argument(
+        "--journal",
+        action="store_true",
+        help="journal every completed cell to <run dir>/journal.jsonl (crash-safe; "
+        "interrupted runs resume with --resume and exit with code 3)",
+    )
+    run_parser.add_argument(
+        "--run-dir",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="run directory for --journal (default: benchmarks/results/runs/<name>.<mode>; "
+        "with several scenarios, a <name>.<mode> subdirectory per scenario)",
+    )
+    run_parser.add_argument(
+        "--resume",
+        type=pathlib.Path,
+        default=None,
+        metavar="RUN_DIR",
+        help="resume an interrupted journaled run from its run directory "
+        "(the grid, mode and provenance come from the journal header)",
+    )
+    run_parser.add_argument(
+        "--stop-policy",
+        action="append",
+        default=None,
+        metavar="NAME:ARGS",
+        help="seal the run early via a registered stop policy, e.g. max-cells:100, "
+        "max-wall-time:3600, group-converged:3 (repeatable; see 'list --plugins')",
+    )
+    run_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live one-line progress view from the session event stream",
     )
 
     compare_parser = commands.add_parser(
@@ -273,28 +334,105 @@ def _selected_scenarios(args: argparse.Namespace) -> List[Scenario]:
     return scenarios
 
 
+def _run_dir_for(args: argparse.Namespace, count: int, name: str, mode: str) -> pathlib.Path:
+    if args.run_dir is not None:
+        if count == 1:
+            return args.run_dir
+        return args.run_dir / f"{name}.{mode}"
+    return DEFAULT_RUNS_DIR / f"{name}.{mode}"
+
+
+def _drive_session(
+    args: argparse.Namespace,
+    session: ExperimentSession,
+    path: pathlib.Path,
+) -> int:
+    """Consume one session's event stream: progress, artifact, summary."""
+    progress = SessionProgress()
+    try:
+        for event in session.events():
+            progress.observe(event)
+            if args.progress and isinstance(event, (RunStarted, CellCompleted, RunFinished)):
+                print(f"\r{progress.render_line()}", end="", flush=True)
+    except KeyboardInterrupt:
+        if args.progress:
+            print()
+        if session.journaling:
+            print(
+                f"interrupted after {progress.completed} cell(s); completed work is "
+                f"journaled in {session.run_dir}"
+            )
+            print(f"resume with: python -m repro.runner run --resume {session.run_dir}")
+            return EXIT_INTERRUPTED
+        raise
+    if args.progress:
+        print()
+    payload = session.write_artifact(path)
+    if not args.no_table:
+        print(progress.render_summary())
+    finished = session.finished
+    assert finished is not None  # events() always ends with RunFinished
+    if finished.reason != "completed":
+        policy = finished.reason.partition(":")[2]
+        print(
+            f"{finished.scenario}: sealed early by stop policy {policy!r} "
+            f"({finished.detail}) — partial artifact covers "
+            f"{finished.completed}/{finished.total} cells"
+        )
+    resumed = f", {progress.replayed} replayed from journal" if progress.replayed else ""
+    wall = finished.wall_seconds
+    rate = finished.completed / wall if wall else float("inf")
+    journal_note = f" (journal: {session.journal_path})" if session.journaling else ""
+    print(
+        f"{finished.scenario}: {payload['totals']['cells']} cells in "
+        f"{finished.wall_seconds:.2f}s ({rate:.1f} cells/s, workers={session.workers}"
+        f"{resumed}) -> {path}{journal_note}"
+    )
+    return EXIT_OK
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     for module in args.plugins or ():
         try:
             importlib.import_module(module)
         except ImportError as error:
             raise ReproError(f"cannot import plugin module {module!r}: {error}") from None
-    engine = SweepEngine(workers=args.workers, chunk_size=args.chunk_size)
+    policies = tuple(args.stop_policy or ())
+    if args.resume is not None:
+        if args.scenario or args.scenario_file or args.journal or args.run_dir:
+            raise ReproError(
+                "--resume reads the grid from the journal header; drop "
+                "--scenario/--scenario-file/--journal/--run-dir"
+            )
+        session = ExperimentSession.resume(
+            args.resume,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            stop_policies=policies,
+        )
+        path = _artifact_path(args.output, 1, session.spec.name, session.mode)
+        return _drive_session(args, session, path)
     mode = "quick" if args.quick else "full"
     scenarios = _selected_scenarios(args)
+    planned: List[Tuple[ExperimentSession, pathlib.Path]] = []
     for scenario in scenarios:
-        spec = scenario.grid(quick=args.quick)
-        result = engine.run(spec)
-        path = _artifact_path(args.output, len(scenarios), scenario.name, mode)
-        write_artifact(path, result, mode=mode)
-        if not args.no_table:
-            print(render_sweep_groups(f"{scenario.name} ({mode} grid)", result.groups))
-        rate = len(result.cells) / result.wall_seconds if result.wall_seconds else float("inf")
-        print(
-            f"{scenario.name}: {len(result.cells)} cells in {result.wall_seconds:.2f}s "
-            f"({rate:.1f} cells/s, workers={result.workers}) -> {path}"
+        run_dir = None
+        if args.journal:
+            run_dir = _run_dir_for(args, len(scenarios), scenario.name, mode)
+        session = ExperimentSession(
+            scenario.grid(quick=args.quick),
+            mode=mode,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            run_dir=run_dir,
+            stop_policies=policies,
         )
-    return 0
+        planned.append((session, _artifact_path(args.output, len(scenarios), scenario.name, mode)))
+    for session, path in planned:
+        code = _drive_session(args, session, path)
+        if code != EXIT_OK:
+            return code
+    return EXIT_OK
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -356,7 +494,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         tol_rounds=args.tol_rounds,
     )
     print(report.describe())
-    return 0 if report.ok else 1
+    return EXIT_OK if report.ok else EXIT_DRIFT
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -374,8 +512,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_profile(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
-__all__ = ["main"]
+__all__ = [
+    "EXIT_DRIFT",
+    "EXIT_ERROR",
+    "EXIT_INTERRUPTED",
+    "EXIT_OK",
+    "main",
+]

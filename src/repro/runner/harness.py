@@ -33,6 +33,7 @@ from typing import (
     Callable,
     Dict,
     Hashable,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -55,6 +56,24 @@ NOT_APPLICABLE = "-"
 
 #: Result of running one cell; implemented by ``repro.runner.scenarios.run_cell``.
 CellRunner = Callable[["GridSpec", "SweepCell"], "CellResult"]
+
+#: Per-cell observer hook: called once per completed cell, in strict
+#: cell-index order, identically on the serial and the sharded path.  May
+#: raise :class:`StopSweep` to end the sweep early.
+CellObserver = Callable[["CellResult"], None]
+
+
+class StopSweep(Exception):
+    """Raised by a :data:`CellObserver` to end a sweep early (not an error).
+
+    The engine folds the triggering cell, stops dispatching work, releases
+    the worker pool and returns the partial
+    :class:`SweepRunResult` with :attr:`SweepRunResult.stop_reason` set.
+    """
+
+    def __init__(self, reason: str = "stopped") -> None:
+        super().__init__(reason)
+        self.reason = reason
 
 
 # ----------------------------------------------------------------------
@@ -568,6 +587,10 @@ class SweepRunResult:
     groups: List[GroupAggregate]
     workers: int = 1
     wall_seconds: float = 0.0
+    #: ``None`` for a completed sweep; the :class:`StopSweep` reason when an
+    #: observer (e.g. a session stop policy) ended the run early.  Like the
+    #: timing fields, never serialized into artifacts.
+    stop_reason: Optional[str] = None
 
     @property
     def success_rate(self) -> float:
@@ -612,53 +635,106 @@ class SweepEngine:
         """Expansion is delegated to the spec; exposed here for symmetry."""
         return spec.expand()
 
-    def run(self, spec: GridSpec, runner: Optional[CellRunner] = None) -> SweepRunResult:
-        """Execute every cell of ``spec`` and aggregate incrementally.
+    def stream(
+        self,
+        spec: GridSpec,
+        runner: Optional[CellRunner] = None,
+        cells: Optional[Sequence[SweepCell]] = None,
+    ) -> Iterator[CellResult]:
+        """Yield every :class:`CellResult` as it completes, in cell-index order.
 
-        ``runner`` must be a picklable module-level callable when
-        ``workers > 1``; it defaults to the scenario registry's
-        :func:`~repro.runner.scenarios.run_cell`.
+        This generator is the engine's observer surface: the serial path and
+        the sharded ``workers > 1`` path emit the *identical* result stream
+        (same cells, same order), so consumers — the streaming
+        :class:`~repro.runner.session.ExperimentSession`, journals, progress
+        views — never depend on the worker count.  On the sharded path,
+        results arriving out of order are held back until every earlier
+        index has been yielded.
+
+        ``cells`` restricts execution to a subset of the grid (resume runs
+        pass the not-yet-completed cells); it defaults to the full
+        expansion.  The worker pool lives inside a ``with`` block, so
+        closing the generator early — a stop policy, a crashed consumer, a
+        ``KeyboardInterrupt`` in the driving loop — tears the pool down
+        deterministically instead of leaking worker processes.
         """
         default_runner = _default_runner()
         using_default = runner is None or runner is default_runner
         runner = runner or default_runner
-        cells = spec.expand()
+        if cells is None:
+            cells = spec.expand()
+        else:
+            cells = sorted(cells, key=lambda cell: cell.index)
+        if self.workers == 1 or len(cells) <= 1:
+            for cell in cells:
+                yield runner(spec, cell)
+            return
+        if using_default:
+            # Build every needed topology object once in the parent so
+            # fork-based workers inherit them copy-on-write instead of
+            # each rebuilding the expensive precomputation.
+            from repro.runner.worker_cache import warm_worker_caches
+
+            warm_worker_caches(spec, cells)
+        chunk = self.chunk_size or max(1, math.ceil(len(cells) / (self.workers * 4)))
+        # Dispatch same-topology cells contiguously so each chunk — and
+        # therefore each worker — builds a topology's graph / bitmask
+        # index / TopologyKnowledge at most once (the worker-global cache
+        # in repro.runner.worker_cache keeps them warm across its chunks).
+        # Completed results are released in cell-index order via the
+        # hold-back buffer below, so the stream — and any artifact folded
+        # from it — stays byte-identical to the serial run.
+        dispatch_order = sorted(
+            cells, key=lambda cell: (cell.topology.label, cell.f, cell.algorithm, cell.index)
+        )
+        expected = [cell.index for cell in cells]
+        held_back: Dict[int, CellResult] = {}
+        position = 0
+        with multiprocessing.Pool(processes=self.workers) as pool:
+            for result in pool.imap(
+                functools.partial(runner, spec), dispatch_order, chunksize=chunk
+            ):
+                held_back[result.index] = result
+                while position < len(expected) and expected[position] in held_back:
+                    yield held_back.pop(expected[position])
+                    position += 1
+
+    def run(
+        self,
+        spec: GridSpec,
+        runner: Optional[CellRunner] = None,
+        observer: Optional[CellObserver] = None,
+        cells: Optional[Sequence[SweepCell]] = None,
+    ) -> SweepRunResult:
+        """Execute every cell of ``spec`` and aggregate incrementally.
+
+        ``runner`` must be a picklable module-level callable when
+        ``workers > 1``; it defaults to the scenario registry's
+        :func:`~repro.runner.scenarios.run_cell`.  ``observer`` — the hook
+        behind the streaming session API — is invoked once per completed
+        cell in cell-index order (identically for serial and sharded runs)
+        and may raise :class:`StopSweep` to end the sweep early with a
+        partial result; any other exception it raises propagates after the
+        worker pool has been released.
+        """
         start = time.perf_counter()
         results: List[CellResult] = []
         groups: Dict[Tuple[str, str, int, str, str], GroupAggregate] = {}
-
-        def fold(result: CellResult) -> None:
-            results.append(result)
-            _fold_into(groups, result)
-
-        if self.workers == 1 or len(cells) <= 1:
-            for cell in cells:
-                fold(runner(spec, cell))
-        else:
-            if using_default:
-                # Build every needed topology object once in the parent so
-                # fork-based workers inherit them copy-on-write instead of
-                # each rebuilding the expensive precomputation.
-                from repro.runner.worker_cache import warm_worker_caches
-
-                warm_worker_caches(spec, cells)
-            chunk = self.chunk_size or max(1, math.ceil(len(cells) / (self.workers * 4)))
-            # Dispatch same-topology cells contiguously so each chunk — and
-            # therefore each worker — builds a topology's graph / bitmask
-            # index / TopologyKnowledge at most once (the worker-global cache
-            # in repro.runner.scenarios keeps them warm across its chunks).
-            # Results are re-sorted into cell-index order before folding, so
-            # the artifact stays byte-identical to the serial run.
-            dispatch_order = sorted(
-                cells, key=lambda cell: (cell.topology.label, cell.f, cell.algorithm, cell.index)
-            )
-            with multiprocessing.Pool(processes=self.workers) as pool:
-                collected = list(
-                    pool.imap(functools.partial(runner, spec), dispatch_order, chunksize=chunk)
-                )
-            collected.sort(key=lambda result: result.index)
-            for result in collected:
-                fold(result)
+        stop_reason: Optional[str] = None
+        stream = self.stream(spec, runner=runner, cells=cells)
+        try:
+            for result in stream:
+                results.append(result)
+                _fold_into(groups, result)
+                if observer is not None:
+                    observer(result)
+        except StopSweep as stop:
+            stop_reason = stop.reason
+        finally:
+            # Closing the generator runs its pool context manager, so a
+            # mid-run exception (poisoned runner, observer failure) never
+            # leaks worker processes.
+            stream.close()
         wall = time.perf_counter() - start
         return SweepRunResult(
             spec=spec,
@@ -666,6 +742,7 @@ class SweepEngine:
             groups=list(groups.values()),
             workers=self.workers,
             wall_seconds=wall,
+            stop_reason=stop_reason,
         )
 
 
@@ -675,7 +752,16 @@ def run_grid(
     chunk_size: Optional[int] = None,
     runner: Optional[CellRunner] = None,
 ) -> SweepRunResult:
-    """One-call convenience wrapper around :class:`SweepEngine`."""
+    """Deprecated (api v1): one-call blocking wrapper around :class:`SweepEngine`.
+
+    The v2 run surface is
+    :class:`~repro.runner.session.ExperimentSession` —
+    ``ExperimentSession(spec, workers=N).run()`` is the drop-in
+    replacement, and sessions additionally stream events, journal progress
+    and resume interrupted runs.  Importing ``run_grid`` from
+    :mod:`repro.api` emits a :class:`DeprecationWarning`; this definition is
+    the shim's home and stays until api v3.
+    """
     return SweepEngine(workers=workers, chunk_size=chunk_size).run(spec, runner=runner)
 
 
@@ -764,8 +850,10 @@ def sweep_behaviors(
 
 __all__ = [
     "NOT_APPLICABLE",
+    "CellObserver",
     "CellResult",
     "CellRunner",
+    "StopSweep",
     "GridSpec",
     "GroupAggregate",
     "SweepCell",

@@ -1,0 +1,466 @@
+"""Durable execution journals: crash-safe JSONL logs of sweep progress.
+
+A journal is the append-only record of one journaled sweep run, living as
+``journal.jsonl`` inside a *run directory*.  Every completed cell is
+appended — and fsynced — the moment it finishes, so an interrupted run
+(SIGINT, OOM kill, power loss) keeps everything it already paid for and
+``ExperimentSession.resume(run_dir)`` continues exactly where it stopped.
+The canonical schema-v1 JSON artifact is *derived* from the journal:
+``artifact_payload(journal.fold(), mode=journal.mode,
+provenance=journal.provenance())`` reproduces, byte for byte, the artifact
+the same grid writes through the in-memory path.
+
+File format (``journal_version`` 1) — one JSON object per line:
+
+* **header** (first line)::
+
+      {"record": "header", "kind": "repro-journal", "journal_version": 1,
+       "scenario": ..., "mode": "quick" | "full",
+       "spec": { ...GridSpec.as_dict()... }, "spec_hash": "<sha256 hex>",
+       "environment": { ...environment_metadata()... },
+       "git": { ...git_metadata()... } | null}
+
+* **cell** (zero or more)::
+
+      {"record": "cell", "cell": { ...CellResult.as_dict()... }}
+
+* **seal** (at most one, always last)::
+
+      {"record": "seal", "reason": "completed" | "policy:<name>",
+       "totals": {"cells": N, "successes": M, "success_rate": x}}
+
+Crash safety is append-then-fsync with checkpoint-granular fsync barriers:
+every record is flushed to the kernel as it is appended (a *process* crash
+— SIGKILL, OOM — loses nothing), and ``fsync`` is issued at the header,
+at every :meth:`JournalWriter.checkpoint`, at the seal and on close, so a
+*machine* crash loses at most the cells since the last checkpoint.  Either
+way a record is complete or it is the file's final, truncated line.  The
+**tail-truncation recovery rule** readers apply: a final line missing its
+terminating newline — parseable or not — is a torn append and is dropped
+(and physically truncated away when the journal is reopened for appending;
+the dropped cell simply re-runs on resume, deterministically); a malformed
+record anywhere *before* the tail, a duplicate cell index, records after
+the seal, or a header whose ``spec_hash`` does not match its ``spec`` raise
+:class:`~repro.exceptions.JournalError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set, Union
+
+from repro.exceptions import JournalError
+from repro.runner.artifacts import environment_metadata, git_metadata
+from repro.runner.harness import CellResult, GridSpec, SweepRunResult, aggregate_cells
+
+JOURNAL_VERSION = 1
+JOURNAL_KIND = "repro-journal"
+
+#: File name of the journal inside a run directory.
+JOURNAL_FILENAME = "journal.jsonl"
+
+PathLike = Union[str, pathlib.Path]
+
+#: Sentinel distinguishing "use the probed default" from an explicit ``None``
+#: (``git_metadata()`` legitimately returns ``None`` outside a checkout).
+_PROBE = object()
+
+
+def journal_path(run_dir: PathLike) -> pathlib.Path:
+    """The journal file inside ``run_dir`` (tolerates a direct file path)."""
+    target = pathlib.Path(run_dir)
+    if target.suffix == ".jsonl":
+        return target
+    return target / JOURNAL_FILENAME
+
+
+def spec_digest(spec_payload: Mapping[str, object]) -> str:
+    """SHA-256 over the canonical JSON form of a ``GridSpec.as_dict()``.
+
+    Resume verifies this digest against a freshly recomputed one, so a run
+    directory can never silently continue under an edited grid.
+    """
+    canonical = json.dumps(spec_payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _dump_line(record: Mapping[str, object]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+@dataclass
+class Journal:
+    """A parsed journal: header facts, recorded cells, optional seal."""
+
+    path: pathlib.Path
+    scenario: str
+    mode: str
+    spec_payload: Dict[str, object]
+    spec_hash: str
+    environment: Optional[Dict[str, object]]
+    git: Optional[Dict[str, object]]
+    cells: List[CellResult]
+    seal: Optional[Dict[str, object]]
+    #: Byte offset just past the last complete record — the truncation point
+    #: writers restore before appending after a crash.
+    good_bytes: int
+    #: True when a truncated final line was dropped during reading.
+    recovered_tail: bool
+
+    @property
+    def sealed(self) -> bool:
+        return self.seal is not None
+
+    @property
+    def seal_reason(self) -> Optional[str]:
+        return str(self.seal["reason"]) if self.seal else None
+
+    def completed_indices(self) -> Set[int]:
+        """Cell indexes already durably recorded."""
+        return {cell.index for cell in self.cells}
+
+    def grid_spec(self) -> GridSpec:
+        """Rehydrate the grid this journal records (validated)."""
+        return GridSpec.from_dict(self.spec_payload)
+
+    def provenance(self) -> Dict[str, object]:
+        """The ``environment``/``git`` metadata recorded at run start, in the
+        shape :func:`~repro.runner.artifacts.artifact_payload` accepts."""
+        return {"environment": self.environment, "git": self.git}
+
+    def fold(self) -> SweepRunResult:
+        """Fold the recorded cells into a :class:`SweepRunResult`.
+
+        Cells are ordered by index and groups aggregated exactly like a
+        live run, so ``artifact_payload(journal.fold(), mode=journal.mode,
+        provenance=journal.provenance())`` round-trips the artifact the
+        run would have written (byte-identical, committed baselines
+        included).  Timing/worker fields are observational and left at
+        their defaults — they are never serialized anyway.
+        """
+        cells = sorted(self.cells, key=lambda cell: cell.index)
+        return SweepRunResult(
+            spec=self.grid_spec(),
+            cells=cells,
+            groups=aggregate_cells(cells),
+            stop_reason=None if self.seal_reason in (None, "completed") else self.seal_reason,
+        )
+
+
+def _parse_record(line: str, number: int, path: pathlib.Path) -> Dict[str, object]:
+    record = json.loads(line)
+    if not isinstance(record, dict) or "record" not in record:
+        raise JournalError(f"journal {path} line {number}: not a journal record: {line[:80]!r}")
+    return record
+
+
+def _validate_header(record: Mapping[str, object], path: pathlib.Path) -> None:
+    if record.get("kind") != JOURNAL_KIND:
+        raise JournalError(f"journal {path}: not a sweep journal (kind={record.get('kind')!r})")
+    version = record.get("journal_version")
+    if version != JOURNAL_VERSION:
+        raise JournalError(
+            f"journal {path}: unsupported journal version {version!r} "
+            f"(expected {JOURNAL_VERSION})"
+        )
+    for key in ("scenario", "mode", "spec", "spec_hash"):
+        if key not in record:
+            raise JournalError(f"journal {path}: header is missing {key!r}")
+    if record["mode"] not in ("quick", "full"):
+        raise JournalError(f"journal {path}: invalid mode {record['mode']!r}")
+    recorded = record["spec_hash"]
+    recomputed = spec_digest(record["spec"])
+    if recorded != recomputed:
+        raise JournalError(
+            f"journal {path}: spec hash mismatch — header says {recorded!r} but the "
+            f"recorded spec hashes to {recomputed!r}; the journal is corrupt or the "
+            "spec was edited"
+        )
+
+
+def load_journal(run_dir: PathLike) -> Journal:
+    """Read and validate a journal, applying the tail-truncation rule.
+
+    ``run_dir`` may be the run directory or the ``journal.jsonl`` path
+    itself.  A final line without its newline (crash mid-append) is dropped
+    and reported via :attr:`Journal.recovered_tail`; every other
+    malformation raises :class:`~repro.exceptions.JournalError`.
+    """
+    path = journal_path(run_dir)
+    if not path.exists():
+        raise JournalError(f"journal {path} does not exist")
+    raw = path.read_bytes()
+
+    # Split into (line, end_offset) pairs; a final chunk without a newline is
+    # a truncation candidate, only accepted as such if it also fails to parse.
+    lines: List[tuple] = []
+    offset = 0
+    while offset < len(raw):
+        newline = raw.find(b"\n", offset)
+        if newline == -1:
+            lines.append((raw[offset:], len(raw), False))
+            break
+        lines.append((raw[offset:newline], newline + 1, True))
+        offset = newline + 1
+
+    header: Optional[Dict[str, object]] = None
+    cells: List[CellResult] = []
+    seen: Set[int] = set()
+    seal: Optional[Dict[str, object]] = None
+    good_bytes = 0
+    recovered_tail = False
+    for number, (line_bytes, end, terminated) in enumerate(lines, start=1):
+        is_last = number == len(lines)
+        if is_last and not terminated:
+            # The tail-truncation rule, uniformly: a final line without its
+            # terminating newline is a torn append and is dropped whether or
+            # not its bytes happen to parse — keeping it would leave
+            # ``good_bytes`` pointing mid-line and a resuming writer would
+            # fuse the next record onto it.  Dropping a cell is always safe:
+            # resume simply re-runs it (deterministically).
+            recovered_tail = True
+            break
+        try:
+            record = _parse_record(line_bytes.decode("utf-8", errors="strict"), number, path)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            if is_last:
+                recovered_tail = True
+                break
+            raise JournalError(
+                f"journal {path} line {number}: corrupt record before the tail"
+            ) from None
+        if seal is not None:
+            raise JournalError(f"journal {path} line {number}: record after the seal")
+        kind = record["record"]
+        if number == 1:
+            if kind != "header":
+                raise JournalError(f"journal {path}: first record must be the header")
+            _validate_header(record, path)
+            header = record
+        elif kind == "header":
+            raise JournalError(f"journal {path} line {number}: duplicate header")
+        elif kind == "cell":
+            try:
+                cell = CellResult.from_dict(record["cell"])
+            except (KeyError, TypeError, ValueError) as error:
+                raise JournalError(
+                    f"journal {path} line {number}: malformed cell record: {error}"
+                ) from None
+            if cell.index in seen:
+                raise JournalError(
+                    f"journal {path} line {number}: duplicate cell index {cell.index}"
+                )
+            seen.add(cell.index)
+            cells.append(cell)
+        elif kind == "seal":
+            if "reason" not in record:
+                raise JournalError(f"journal {path} line {number}: seal has no reason")
+            seal = record
+        else:
+            raise JournalError(f"journal {path} line {number}: unknown record kind {kind!r}")
+        good_bytes = end
+    if header is None:
+        raise JournalError(f"journal {path}: no complete header record")
+    return Journal(
+        path=path,
+        scenario=str(header["scenario"]),
+        mode=str(header["mode"]),
+        spec_payload=dict(header["spec"]),
+        spec_hash=str(header["spec_hash"]),
+        environment=header.get("environment"),
+        git=header.get("git"),
+        cells=cells,
+        seal=seal,
+        good_bytes=good_bytes,
+        recovered_tail=recovered_tail,
+    )
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+class JournalWriter:
+    """Append-only journal writer with checkpointed durability.
+
+    Every record is written and flushed before the append returns — a crash
+    of the writing *process* loses nothing.  ``fsync`` barriers (surviving
+    a machine crash) are issued at the header, at every
+    :meth:`checkpoint`, at the seal and on :meth:`close`; sessions call
+    :meth:`checkpoint` on their checkpoint cadence so the emitted
+    ``CheckpointWritten`` events mark real durability barriers.  Use
+    :meth:`create` for a fresh run directory and :meth:`resume` to continue
+    an unsealed journal (restoring a truncated tail first).
+    """
+
+    def __init__(self, path: pathlib.Path, handle, recorded: Set[int]) -> None:
+        self.path = path
+        self._handle = handle
+        self._recorded = set(recorded)
+        self._sealed = False
+        self._dirty = False
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        run_dir: PathLike,
+        spec: GridSpec,
+        mode: str = "full",
+        environment: object = _PROBE,
+        git: object = _PROBE,
+    ) -> "JournalWriter":
+        """Start a fresh journal for ``spec`` inside ``run_dir``.
+
+        Refuses to overwrite an existing journal — resuming an interrupted
+        run must go through :meth:`resume` (via
+        ``ExperimentSession.resume``) so completed work is never discarded.
+        ``environment``/``git`` default to freshly probed metadata; tests
+        and derivation tools may pin them explicitly.
+        """
+        path = journal_path(run_dir)
+        if path.exists():
+            raise JournalError(
+                f"journal {path} already exists — resume an interrupted run with "
+                f"'run --resume {path.parent}', or delete the run directory (or pick "
+                "a fresh --run-dir) to start over"
+            )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        spec_payload = spec.as_dict()
+        header = {
+            "record": "header",
+            "kind": JOURNAL_KIND,
+            "journal_version": JOURNAL_VERSION,
+            "scenario": spec.name,
+            "mode": mode,
+            "spec": spec_payload,
+            "spec_hash": spec_digest(spec_payload),
+            "environment": environment_metadata() if environment is _PROBE else environment,
+            "git": git_metadata() if git is _PROBE else git,
+        }
+        handle = open(path, "ab")
+        writer = cls(path, handle, set())
+        writer._append(header, fsync=True)
+        return writer
+
+    @classmethod
+    def resume(cls, journal: Journal) -> "JournalWriter":
+        """Reopen ``journal`` for appending, truncating any recovered tail."""
+        if journal.sealed:
+            raise JournalError(
+                f"journal {journal.path} is sealed ({journal.seal_reason!r}); a "
+                "sealed run is complete — delete the run directory (or pick a "
+                "fresh --run-dir) to run the grid again"
+            )
+        handle = open(journal.path, "r+b")
+        handle.truncate(journal.good_bytes)
+        handle.seek(journal.good_bytes)
+        return cls(journal.path, handle, journal.completed_indices())
+
+    # -- appending -------------------------------------------------------
+    def _append(self, record: Mapping[str, object], fsync: bool = False) -> None:
+        if self._handle is None:
+            raise JournalError(f"journal {self.path} writer is closed")
+        if self._sealed:
+            raise JournalError(f"journal {self.path} is sealed; no further records")
+        self._handle.write(_dump_line(record).encode("utf-8"))
+        self._handle.flush()
+        if fsync:
+            os.fsync(self._handle.fileno())
+            self._dirty = False
+        else:
+            self._dirty = True
+
+    def append_cell(self, result: CellResult) -> None:
+        """Record one completed cell (flushed; duplicate indexes refused)."""
+        if result.index in self._recorded:
+            raise JournalError(
+                f"journal {self.path}: cell index {result.index} is already recorded"
+            )
+        self._append({"record": "cell", "cell": result.as_dict()})
+        self._recorded.add(result.index)
+
+    def checkpoint(self) -> None:
+        """``fsync`` everything appended so far — a machine-crash barrier."""
+        if self._handle is None:
+            raise JournalError(f"journal {self.path} writer is closed")
+        if self._dirty:
+            os.fsync(self._handle.fileno())
+            self._dirty = False
+
+    def seal(self, reason: str, results: List[CellResult]) -> None:
+        """Write (and fsync) the final seal; the journal becomes immutable."""
+        successes = sum(1 for cell in results if cell.success)
+        self._append(
+            {
+                "record": "seal",
+                "reason": reason,
+                "totals": {
+                    "cells": len(results),
+                    "successes": successes,
+                    "success_rate": successes / len(results) if results else 0.0,
+                },
+            },
+            fsync=True,
+        )
+        self._sealed = True
+
+    @property
+    def cells_recorded(self) -> int:
+        return len(self._recorded)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            if self._dirty:
+                os.fsync(self._handle.fileno())
+                self._dirty = False
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def journal_from_artifact(run_dir: PathLike, payload: Mapping[str, object]) -> Journal:
+    """Materialize a journal equivalent to an existing artifact payload.
+
+    The inverse direction of ``artifact_payload(journal.fold())`` — used by
+    tests to prove the round trip over the committed baselines, and handy
+    for backfilling run directories for pre-journal artifacts.
+    """
+    spec = GridSpec.from_dict(payload["spec"])
+    writer = JournalWriter.create(
+        run_dir,
+        spec,
+        mode=str(payload["mode"]),
+        environment=payload.get("environment"),
+        git=payload.get("git"),
+    )
+    with writer:
+        results = [CellResult.from_dict(cell) for cell in payload["cells"]]
+        for cell in sorted(results, key=lambda cell: cell.index):
+            writer.append_cell(cell)
+        writer.seal("completed", results)
+    return load_journal(run_dir)
+
+
+__all__ = [
+    "JOURNAL_FILENAME",
+    "JOURNAL_KIND",
+    "JOURNAL_VERSION",
+    "Journal",
+    "JournalWriter",
+    "journal_from_artifact",
+    "journal_path",
+    "load_journal",
+    "spec_digest",
+]

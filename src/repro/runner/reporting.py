@@ -9,10 +9,11 @@ job of :mod:`repro.runner.artifacts`; everything here is for humans.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.runner.harness import GroupAggregate
+    from repro.runner.session import RunFinished, SessionEvent
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
@@ -97,3 +98,88 @@ def sweep_group_rows(groups: Iterable["GroupAggregate"]) -> List[List[str]]:
 def render_sweep_groups(title: str, groups: Iterable["GroupAggregate"]) -> str:
     """The standard human-readable summary of a sweep run."""
     return f"{banner(title)}\n{format_table(SWEEP_HEADERS, sweep_group_rows(groups))}\n"
+
+
+# ----------------------------------------------------------------------
+# session event consumers (api v2)
+# ----------------------------------------------------------------------
+class SessionProgress:
+    """Fold a session's event stream into live progress and summary state.
+
+    The api-v2 reporting surface is *event-driven*: this consumer never
+    touches a finished :class:`~repro.runner.harness.SweepRunResult` — it
+    derives everything (cell counts, per-group aggregates, checkpoint
+    cadence, the final verdict) from the
+    :class:`~repro.runner.session.SessionEvent` stream, so the same object
+    renders a live ``--progress`` line mid-run and the final group table
+    after :class:`~repro.runner.session.RunFinished`.
+    """
+
+    def __init__(self) -> None:
+        self.scenario: Optional[str] = None
+        self.mode: Optional[str] = None
+        self.total = 0
+        self.completed = 0
+        self.replayed = 0
+        self.successes = 0
+        self.failures = 0
+        self.checkpoints = 0
+        self.cells_journaled = 0
+        self.finished: Optional["RunFinished"] = None
+        self._groups: Dict[Tuple, "GroupAggregate"] = {}
+
+    def observe(self, event: "SessionEvent") -> None:
+        """Absorb one event (any :class:`SessionEvent` subclass)."""
+        from repro.runner import session as _session
+
+        if isinstance(event, _session.RunStarted):
+            self.scenario = event.scenario
+            self.mode = event.mode
+            self.total = event.total_cells
+        elif isinstance(event, _session.CellCompleted):
+            self.completed = event.completed
+            if event.replayed:
+                self.replayed += 1
+            if event.result.success:
+                self.successes += 1
+            else:
+                self.failures += 1
+        elif isinstance(event, _session.GroupUpdated):
+            self._groups[event.key] = event.group
+        elif isinstance(event, _session.CheckpointWritten):
+            self.checkpoints += 1
+            self.cells_journaled = event.cells_recorded
+        elif isinstance(event, _session.RunFinished):
+            self.finished = event
+
+    @property
+    def groups(self) -> List["GroupAggregate"]:
+        """Per-group aggregates in first-seen order (snapshot copies)."""
+        return list(self._groups.values())
+
+    def render_line(self) -> str:
+        """One-line live progress view (the CLI's ``--progress`` output)."""
+        if self.total:
+            percent = f"{self.completed / self.total * 100:3.0f}%"
+        else:
+            percent = "  -"
+        parts = [
+            f"[{self.scenario or '?'}]",
+            f"{self.completed}/{self.total} cells",
+            percent,
+            f"ok={self.successes}",
+            f"fail={self.failures}",
+        ]
+        if self.replayed:
+            parts.append(f"replayed={self.replayed}")
+        if self.cells_journaled:
+            parts.append(f"journaled={self.cells_journaled}")
+        if self.finished is not None:
+            reason = self.finished.reason
+            parts.append("done" if reason == "completed" else reason)
+        return " ".join(parts)
+
+    def render_summary(self) -> str:
+        """The standard group table, derived purely from observed events."""
+        title = f"{self.scenario or '?'} ({self.mode or '?'} grid)"
+        return render_sweep_groups(title, self.groups)

@@ -21,6 +21,7 @@ from repro.api import (
     BEHAVIORS,
     DELAYS,
     PLACEMENTS,
+    STOP_POLICIES,
     TOPOLOGIES,
     DiGraph,
     GridSpec,
@@ -31,7 +32,7 @@ from repro.api import (
     get_scenario,
     load_artifact,
     parse_plugin_spec,
-    run_grid,
+    run_session,
     scenario_names,
     write_artifact,
 )
@@ -152,7 +153,8 @@ class TestRegistry:
         assert "random" in PLACEMENTS and "last" in PLACEMENTS
         assert {"bw", "check-reach"} <= set(ALGORITHMS.names())
         assert "uniform" in DELAYS
-        assert API_VERSION == 1
+        assert "max-cells" in STOP_POLICIES
+        assert API_VERSION == 2
 
     def test_algorithm_kinds(self):
         kinds = {name: ALGORITHMS.get(name).kind for name in ALGORITHMS.names()}
@@ -415,7 +417,7 @@ class TestThirdPartyExtensions:
             )
             cells = spec.expand()  # plugin validation sees the new names
             assert len(cells) == 4
-            result = run_grid(spec)
+            result = run_session(spec)
         assert len(result.cells) == 4
         assert [cell.behavior for cell in result.cells] == [
             "halve", "halve", "halve:0.25", "halve:0.25",
@@ -447,7 +449,7 @@ class TestThirdPartyExtensions:
 
         stub = AlgorithmSpec(name="node-count", kind="check", run=run_stub)
         with ALGORITHMS.temporarily("node-count", stub):
-            result = run_grid(
+            result = run_session(
                 GridSpec(
                     name="algo-probe",
                     algorithms=("node-count",),
