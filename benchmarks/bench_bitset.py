@@ -1,0 +1,221 @@
+"""Bitset backend microbenchmarks — what the numpy engine buys at n = 24.
+
+The pure-python big-int kernels are word-parallel and genuinely fast on a
+*single* query; the numpy backend (``repro[fast]``) wins on the *batched and
+quadratic* work the reach-condition sweeps are made of.  Three probes on the
+``two-cliques`` graph with clique size 12 (n = 24, the auto-selection
+crossover) measure exactly that split and record the speedups into
+``benchmarks/results/BENCH_bitset.json``:
+
+``closure``
+    One :meth:`closure_many` batch of 256 exclusion sets over the graph's
+    predecessor masks — the warm-up unit of every sweep
+    (:data:`BitsetIndex.CLOSURE_BATCH`).  The CI ``perf-smoke`` job gates on
+    this probe: numpy must not be slower than python at the crossover size.
+
+``f_cover``
+    The batched Algorithm-2 existence query: 400 path-mask groups through
+    :meth:`any_f_cover` at f = 1 (none coverable, so every group is fully
+    tested — the expensive, violation-free case).
+
+``sweep_kernel``
+    The headline composite: the actual unit of a 2-reach sweep at f = 3 —
+    batch-close every ``|F| ≤ 3`` exclusion set (2 325 closures), collect
+    per-node reach rows, and run the all-pairs disjointness scan over them.
+    The scan is quadratic in the number of reach rows and dominates real
+    sweeps (the committed ``scaling`` grid spends ~5.8e7 pairwise checks at
+    n = 32 against ~2.5e5 closures), which is why the committed claim —
+    **≥ 5× over the python backend** — lives on this probe.
+
+Every probe asserts cross-backend agreement on the results it computes, so
+the timings can never drift away from the semantics.  The whole module
+skips when numpy is not installed (the fallback environment has nothing to
+compare).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from itertools import combinations
+from typing import Callable, Dict, List
+
+import pytest
+
+from repro.graphs.bitset import BitsetIndex
+from repro.graphs.bitset_backends import BITSET_BACKENDS, numpy_available
+from repro.graphs.generators import two_cliques_bridged
+from repro.runner.reporting import format_table
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend not installed (repro[fast])"
+)
+
+#: The probe graph: n = 24, the auto-selection crossover size.
+CLIQUE_SIZE = 12
+BRIDGES = 5
+
+#: Exclusion sets per closure_many batch (mirrors BitsetIndex.CLOSURE_BATCH).
+CLOSURE_BATCH = 256
+
+#: Path-mask groups (and masks per group) for the f-cover probe.
+FCOVER_GROUPS = 400
+FCOVER_MASKS_PER_GROUP = 8
+
+#: Max exclusion-set size of the sweep-kernel probe (|F| <= 3 at n = 24).
+KERNEL_MAX_EXCLUDE = 3
+
+#: Reach rows collected per exclusion set in the sweep-kernel probe.
+KERNEL_ROWS_PER_EXCLUSION = 2
+
+#: Best-of repetitions per backend and probe.
+REPEATS = 3
+
+#: The committed claim on the sweep-kernel probe; CI gates the closure probe
+#: at >= 1.0 (never slower) and the kernel at this floor.
+KERNEL_SPEEDUP_FLOOR = 5.0
+
+
+def _probe_index() -> BitsetIndex:
+    graph = two_cliques_bridged(
+        clique_size=CLIQUE_SIZE, forward_bridges=BRIDGES, backward_bridges=BRIDGES
+    )
+    return BitsetIndex(graph)
+
+
+def _exclusion_masks(n: int, max_size: int) -> List[int]:
+    masks = [0]
+    for size in range(1, max_size + 1):
+        for combo in combinations(range(n), size):
+            mask = 0
+            for bit in combo:
+                mask |= 1 << bit
+            masks.append(mask)
+    return masks
+
+
+def _best_of(fn: Callable[[], object]) -> Dict[str, object]:
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return {"seconds": round(best, 4), "result": result}
+
+
+def _run_probe(work: Callable[[object], object]) -> Dict[str, Dict[str, object]]:
+    """Run ``work(backend)`` best-of-REPEATS per registered backend and
+    assert every backend computed the same thing."""
+    records: Dict[str, Dict[str, object]] = {}
+    for entry in BITSET_BACKENDS.entries():
+        records[entry.name] = _best_of(lambda backend=entry.obj: work(backend))
+    results = {name: record.pop("result") for name, record in records.items()}
+    reference = results["python"]
+    for name, result in results.items():
+        assert result == reference, f"backend {name!r} disagrees with python"
+    return records
+
+
+def _speedup(records: Dict[str, Dict[str, object]]) -> float:
+    return round(records["python"]["seconds"] / records["numpy"]["seconds"], 2)
+
+
+@pytest.mark.benchmark(group="bitset")
+def test_bitset_backend_speedups(benchmark, write_result, results_dir):
+    index = _probe_index()
+    n, pred_masks, full = index.n, index.pred_masks, index.full_mask
+    assert n == 2 * CLIQUE_SIZE
+
+    payload: Dict[str, object] = {"schema": 1, "n": n, "repeats": REPEATS}
+
+    def run_probes():
+        # -- closure probe: one CLOSURE_BATCH-sized closure_many call ------
+        allowed = [full & ~mask for mask in _exclusion_masks(n, 2)[:CLOSURE_BATCH]]
+        closure = _run_probe(lambda b: b.closure_many(pred_masks, allowed, n))
+        payload["closure"] = {
+            "batch": len(allowed),
+            "backends": closure,
+            "speedup": _speedup(closure),
+        }
+
+        # -- f-cover probe: batched Algorithm-2 existence, none coverable --
+        rng = random.Random(7)
+        groups = []
+        while len(groups) < FCOVER_GROUPS:
+            group = [
+                rng.getrandbits(n) | 1 << rng.randrange(n)
+                for _ in range(FCOVER_MASKS_PER_GROUP)
+            ]
+            union = 0
+            for mask in group:
+                union |= full & ~mask  # bit missing from some path
+            if union == full:  # no single-node cover exists: worst case
+                groups.append(group)
+        f_cover = _run_probe(lambda b: b.any_f_cover(groups, 1))
+        payload["f_cover"] = {
+            "groups": len(groups),
+            "f": 1,
+            "backends": f_cover,
+            "speedup": _speedup(f_cover),
+        }
+
+        # -- sweep kernel: batched closures + all-pairs disjoint scan ------
+        exclusions = _exclusion_masks(n, KERNEL_MAX_EXCLUDE)
+
+        def kernel(backend):
+            masks: List[int] = []
+            for start in range(0, len(exclusions), CLOSURE_BATCH):
+                chunk = exclusions[start : start + CLOSURE_BATCH]
+                rows = backend.closure_many(
+                    pred_masks, [full & ~mask for mask in chunk], n
+                )
+                for excluded, reach in zip(chunk, rows):
+                    taken = 0
+                    for i in range(n):
+                        if excluded & (1 << i):
+                            continue
+                        masks.append(reach[i])
+                        taken += 1
+                        if taken == KERNEL_ROWS_PER_EXCLUSION:
+                            break
+            deduped = list(dict.fromkeys(masks))
+            return backend.find_disjoint_pair(deduped), len(deduped)
+
+        kernel_records = _run_probe(kernel)
+        payload["sweep_kernel"] = {
+            "exclusions": len(exclusions),
+            "rows_per_exclusion": KERNEL_ROWS_PER_EXCLUSION,
+            "backends": kernel_records,
+            "speedup": _speedup(kernel_records),
+        }
+        return payload
+
+    benchmark.pedantic(run_probes, rounds=1, iterations=1)
+
+    payload["claim"] = (
+        f"numpy backend >= {KERNEL_SPEEDUP_FLOOR}x on the n={n} sweep-kernel "
+        "probe; never slower on the closure probe"
+    )
+    (results_dir / "BENCH_bitset.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    rows = [
+        [
+            name,
+            payload[name]["backends"]["python"]["seconds"],
+            payload[name]["backends"]["numpy"]["seconds"],
+            f"{payload[name]['speedup']:.2f}x",
+        ]
+        for name in ("closure", "f_cover", "sweep_kernel")
+    ]
+    write_result(
+        "bench_bitset", format_table(["probe", "python s", "numpy s", "speedup"], rows)
+    )
+
+    # The CI perf-smoke gates: the crossover probe must never regress below
+    # parity, and the headline kernel must hold the committed claim.
+    assert payload["closure"]["speedup"] >= 1.0, payload["closure"]
+    assert payload["sweep_kernel"]["speedup"] >= KERNEL_SPEEDUP_FLOOR, payload["sweep_kernel"]

@@ -24,7 +24,7 @@ from typing import Dict, Hashable, Iterable, Mapping, Optional
 
 from repro.algorithms.messagesets import MessageSet
 from repro.algorithms.topology import TopologyKnowledge
-from repro.graphs.bitset import has_f_cover_masks
+from repro.graphs.bitset import any_f_cover_masks
 
 NodeId = Hashable
 
@@ -63,6 +63,12 @@ def completeness(
     f = topology.f
     codec = message_set.codec
     evaluating_bit = 1 << codec.bit(evaluating_node)
+    # One mask group per (F_w, source node) — collected first so the f-cover
+    # existence test runs as a single batched query: the numpy backend checks
+    # every origin's candidates in one vectorized sweep, the python backend
+    # keeps its per-group early exit.  The verdict is an OR over origins, so
+    # batching cannot change it.
+    groups = []
     for fault_set_w in topology.fault_sets:
         if fault_set_w == fault_set_u:
             continue
@@ -79,13 +85,13 @@ def completeness(
                 # confirm it yet, so the announcement is not complete.
                 return False
             expected = witness_values[source_node]
-            masks = [
-                mask & allowed_mask
-                for mask in message_set.masks_from_with_value(source_node, expected)
-            ]
-            if has_f_cover_masks(masks, f):
-                return False
-    return True
+            groups.append(
+                [
+                    mask & allowed_mask
+                    for mask in message_set.masks_from_with_value(source_node, expected)
+                ]
+            )
+    return not any_f_cover_masks(groups, f)
 
 
 def completeness_deficit(

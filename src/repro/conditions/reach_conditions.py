@@ -75,6 +75,26 @@ def _iter_subset_masks(available: Sequence[int], max_size: int) -> Iterator[int]
 # ----------------------------------------------------------------------
 # core sweeps (operate on a BitsetIndex, return index-level tuples)
 # ----------------------------------------------------------------------
+def _disjoint_scan(
+    index: BitsetIndex, masks: Sequence[int]
+) -> Tuple[Optional[Tuple[int, int]], int]:
+    """Backend-routed all-pairs disjointness scan with exact accounting.
+
+    Returns ``(pair, checks)`` where ``pair`` is the lexicographically first
+    ``(a, b)`` with ``masks[a] & masks[b] == 0`` (the contract every backend
+    honours) and ``checks`` is precisely the number of pair tests a serial
+    nested loop would have performed before stopping there — pairs before
+    row ``a`` plus the ``b - a`` tests inside it — so reports are identical
+    whichever backend did the scan.
+    """
+    pair = index.backend.find_disjoint_pair(masks)
+    m = len(masks)
+    if pair is None:
+        return None, m * (m - 1) // 2
+    a, b = pair
+    return pair, a * (m - 1) - a * (a - 1) // 2 + (b - a)
+
+
 def _one_reach_core(
     index: BitsetIndex, shared_mask: int
 ) -> Tuple[Optional[Tuple[int, int, int, int]], int]:
@@ -85,13 +105,10 @@ def _one_reach_core(
     """
     reach = index.reach_masks(shared_mask)
     outside = [i for i in range(index.n) if not (shared_mask & (1 << i))]
-    checks = 0
-    for a in range(len(outside)):
-        for b in range(a + 1, len(outside)):
-            checks += 1
-            if reach[outside[a]] & reach[outside[b]] == 0:
-                return (outside[a], 0, outside[b], 0), checks
-    return None, checks
+    pair, checks = _disjoint_scan(index, [reach[i] for i in outside])
+    if pair is None:
+        return None, checks
+    return (outside[pair[0]], 0, outside[pair[1]], 0), checks
 
 
 def _two_reach_core(
@@ -111,13 +128,17 @@ def _two_reach_core(
     """
     n = index.n
     available = [i for i in range(n) if not (base_excluded_mask & (1 << i))]
-    checks = 0
 
-    # Collect (node_index, private_mask, reach_mask); group per private set so
-    # reach sets for all nodes under the same exclusion are computed together.
+    # Collect (node_index, private_mask, reach_mask); the whole private-set
+    # enumeration goes through one batched closure call, so the numpy
+    # backend closes every exclusion of this sweep in a few lane-packed
+    # matrix passes (and the python backend fills its memo as before).
+    private_masks = list(_iter_subset_masks(available, f_budget))
+    reaches = index.reach_masks_many(
+        [base_excluded_mask | private_mask for private_mask in private_masks]
+    )
     entries: List[Tuple[int, int, int]] = []
-    for private_mask in _iter_subset_masks(available, f_budget):
-        reach = index.reach_masks(base_excluded_mask | private_mask)
+    for private_mask, reach in zip(private_masks, reaches):
         for i in available:
             if private_mask & (1 << i):
                 continue
@@ -136,20 +157,47 @@ def _two_reach_core(
             representative[mask] = (node_index, private_mask)
 
     masks = list(representative.keys())
-    for a in range(len(masks)):
-        mask_a = masks[a]
-        for b in range(a + 1, len(masks)):
-            checks += 1
-            if mask_a & masks[b] == 0:
-                u_index, fu_mask = representative[mask_a]
-                v_index, fv_mask = representative[masks[b]]
-                return (u_index, fu_mask, v_index, fv_mask), checks
-    return None, checks
+    pair, checks = _disjoint_scan(index, masks)
+    if pair is None:
+        return None, checks
+    u_index, fu_mask = representative[masks[pair[0]]]
+    v_index, fv_mask = representative[masks[pair[1]]]
+    return (u_index, fu_mask, v_index, fv_mask), checks
 
 
 # ----------------------------------------------------------------------
 # parallel fan-out over the shared-set enumeration
 # ----------------------------------------------------------------------
+#: Shared-exclusion masks swept per warm-up batch: closures for the whole
+#: batch go through one :meth:`BitsetIndex.reach_masks_many` call before the
+#: per-mask scan, so a violation wastes at most one batch of closures while
+#: the (common, expensive) violation-free sweep runs fully batched.
+_WARM_CHUNK = 64
+
+
+def _sweep_masks(
+    index: BitsetIndex, shared_masks: Sequence[int], f_budget: int, mode: str
+) -> Tuple[Optional[Tuple[int, int, int, int]], int, int]:
+    """Sweep shared-exclusion masks in warm-batched order, first hit wins.
+
+    Returns ``(violation, shared_mask, total_checks)``.
+    """
+    total = 0
+    for start in range(0, len(shared_masks), _WARM_CHUNK):
+        chunk = shared_masks[start : start + _WARM_CHUNK]
+        if mode == "one":
+            index.reach_masks_many(chunk)
+        for shared_mask in chunk:
+            if mode == "one":
+                violation, checks = _one_reach_core(index, shared_mask)
+            else:
+                violation, checks = _two_reach_core(index, f_budget, shared_mask)
+            total += checks
+            if violation is not None:
+                return violation, shared_mask, total
+    return None, 0, total
+
+
 def _shared_sweep_worker(args):
     """Worker: sweep a chunk of shared-exclusion masks on a rebuilt engine.
 
@@ -158,16 +206,7 @@ def _shared_sweep_worker(args):
     """
     payload, f_budget, shared_masks, mode = args
     index = BitsetIndex.from_payload(payload)
-    total = 0
-    for shared_mask in shared_masks:
-        if mode == "one":
-            violation, checks = _one_reach_core(index, shared_mask)
-        else:
-            violation, checks = _two_reach_core(index, f_budget, shared_mask)
-        total += checks
-        if violation is not None:
-            return violation, shared_mask, total
-    return None, 0, total
+    return _sweep_masks(index, shared_masks, f_budget, mode)
 
 
 def _sweep_shared(
@@ -185,16 +224,7 @@ def _sweep_shared(
     shared_masks = list(_iter_subset_masks(all_bits, shared_budget))
 
     if not parallel or parallel <= 1 or len(shared_masks) <= 1:
-        total = 0
-        for shared_mask in shared_masks:
-            if mode == "one":
-                violation, checks = _one_reach_core(index, shared_mask)
-            else:
-                violation, checks = _two_reach_core(index, f_budget, shared_mask)
-            total += checks
-            if violation is not None:
-                return violation, shared_mask, total
-        return None, 0, total
+        return _sweep_masks(index, shared_masks, f_budget, mode)
 
     import multiprocessing
 

@@ -33,14 +33,30 @@ Multiprocessing
 Indexes serialise to a compact picklable payload (:meth:`to_payload` /
 :meth:`from_payload`) so the ``parallel=N`` condition sweeps can ship the
 adjacency masks — not the whole graph object — to worker processes.
+
+Backends
+--------
+The *computation* behind the mask algebra is pluggable: every closure / SCC /
+source-component / f-cover query routes through a backend resolved from the
+:data:`~repro.registry.BITSET_BACKENDS` registry (``python`` — the inlined
+big-int kernels below — and ``numpy`` — packed boolean matrices with
+repeated-squaring closure, see :mod:`repro.graphs.bitset_numpy`).  Selection
+is automatic per graph size with a ``REPRO_BITSET_BACKEND`` override; see
+:func:`repro.graphs.bitset_backends.get_backend`.  Backends are required to
+produce *identical* masks and verdicts — they change how fast an answer
+arrives, never the answer — which is what keeps sweep artifacts byte-identical
+across backends.
 """
 
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.graphs.digraph import DiGraph, Node
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graphs.bitset_backends import BitsetBackend
 
 try:  # pragma: no cover - trivial dispatch
     _popcount = int.bit_count  # Python >= 3.10
@@ -62,6 +78,48 @@ def iter_bits(mask: int) -> Iterable[int]:
         mask ^= low
 
 
+def candidate_coverages(masks: Sequence[int], union: int) -> List[int]:
+    """Per-candidate *coverage bitsets* over path indices.
+
+    For every set bit ``b`` of ``union`` (a candidate cover node), the
+    returned list holds — in ascending bit order — the set of paths node
+    ``b`` lies on, encoded as an integer over ``range(len(masks))``.  The
+    f-cover search runs entirely on these: a candidate set covers the paths
+    iff the OR of its coverages is the all-paths mask.
+    """
+    coverage: Dict[int, int] = {bit: 0 for bit in iter_bits(union)}
+    for i, mask in enumerate(masks):
+        path_bit = 1 << i
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            coverage[low.bit_length() - 1] |= path_bit
+    return list(coverage.values())
+
+
+def prune_dominated_coverages(coverages: Sequence[int]) -> List[int]:
+    """Drop candidates whose coverage is a subset of another candidate's.
+
+    A dominated candidate can always be replaced by its dominator inside any
+    cover, so pruning preserves f-cover *existence* exactly (single-node
+    covers must be tested before pruning: a dominator pair collapsing to one
+    node is precisely the single-node case).  Equal coverages keep their
+    first representative.
+    """
+    kept: List[int] = []
+    for i, cov in enumerate(coverages):
+        dominated = False
+        for j, other in enumerate(coverages):
+            if j == i:
+                continue
+            if cov | other == other and (cov != other or j < i):
+                dominated = True
+                break
+        if not dominated:
+            kept.append(cov)
+    return kept
+
+
 def has_f_cover_masks(masks: Sequence[int], f: int) -> bool:
     """Existence of an f-cover (Definition 4) over mask-encoded path sets.
 
@@ -72,9 +130,11 @@ def has_f_cover_masks(masks: Sequence[int], f: int) -> bool:
     * the empty path set is vacuously coverable;
     * a path with no candidate member can never be covered;
     * ``f = 0`` cannot cover a non-empty path set;
-    * one node covers everything iff the AND of all masks is non-zero;
-    * larger covers are an exact search over candidate-bit combinations
-      (``f ≤ 2`` in every workload the paper discusses).
+    * one node covers everything iff some candidate lies on every path;
+    * larger covers are an exact search over candidate combinations
+      (``f ≤ 2`` in every workload the paper discusses), run on coverage
+      bitsets over path indices with dominated candidates pruned first
+      (see :func:`prune_dominated_coverages` — existence-preserving).
     """
     if not masks:
         return True
@@ -85,24 +145,59 @@ def has_f_cover_masks(masks: Sequence[int], f: int) -> bool:
         union |= mask
     if f == 0:
         return False
-    common = masks[0]
-    for mask in masks:
-        common &= mask
-        if not common:
-            break
-    if common:
-        return True
+    all_paths = (1 << len(masks)) - 1
+    coverages = candidate_coverages(masks, union)
+    for cov in coverages:
+        if cov == all_paths:
+            return True
     if f == 1:
         return False
-    bits = [1 << i for i in iter_bits(union)]
-    for size in range(2, min(f, len(bits)) + 1):
-        for combo in combinations(bits, size):
-            combo_mask = 0
-            for bit in combo:
-                combo_mask |= bit
-            if all(mask & combo_mask for mask in masks):
+    coverages = prune_dominated_coverages(coverages)
+    for size in range(2, min(f, len(coverages)) + 1):
+        for combo in combinations(coverages, size):
+            acc = 0
+            for cov in combo:
+                acc |= cov
+            if acc == all_paths:
                 return True
     return False
+
+
+def any_f_cover_masks(groups: Sequence[Sequence[int]], f: int) -> bool:
+    """``True`` when *any* group of path masks admits an f-cover.
+
+    The batched form of :func:`has_f_cover_masks` used by the per-origin
+    callers (Completeness evaluates one group per source-component node):
+    collecting the groups first lets the numpy backend test every origin's
+    candidate combinations in one vectorized sweep instead of a Python loop
+    per origin.  Dispatches on the widest mask seen (the graph-size proxy);
+    the pure-python path keeps its per-group early exit.
+    """
+    max_bits = 0
+    for group in groups:
+        for mask in group:
+            bits = mask.bit_length()
+            if bits > max_bits:
+                max_bits = bits
+    from repro.graphs.bitset_backends import get_backend
+
+    return get_backend(max_bits).any_f_cover(groups, f)
+
+
+def find_disjoint_pair(masks: Sequence[int]) -> Optional[Tuple[int, int]]:
+    """First pair ``(a, b)``, ``a < b``, with ``masks[a] & masks[b] == 0``.
+
+    "First" means lexicographically smallest in the nested-loop enumeration
+    order — the contract every backend must honour so that violation
+    witnesses (and ``checks_performed`` accounting derived from the pair
+    position) are identical across backends.
+    """
+    for a in range(len(masks)):
+        mask_a = masks[a]
+        for b in range(a + 1, len(masks)):
+            if mask_a & masks[b] == 0:
+                return a, b
+    return None
 
 
 def _closure_masks(adj: Sequence[int], allowed_mask: int, n: int) -> List[int]:
@@ -188,6 +283,117 @@ def _closure_masks(adj: Sequence[int], allowed_mask: int, n: int) -> List[int]:
                     bits ^= low
                     closure[low.bit_length() - 1] = reach
     return closure
+
+
+def _tarjan_scc_masks(succ_masks: Sequence[int], allowed_mask: int) -> List[int]:
+    """SCCs of the subgraph induced on ``allowed_mask`` (bitmask Tarjan).
+
+    Returned in reverse topological order of the condensation (a component
+    is emitted only after every component it can reach), matching
+    :meth:`DiGraph.strongly_connected_components`.
+    """
+    indices: Dict[int, int] = {}
+    lowlinks: Dict[int, int] = {}
+    on_stack = 0
+    stack: List[int] = []
+    components: List[int] = []
+    counter = 0
+
+    for root in iter_bits(allowed_mask):
+        if root in indices:
+            continue
+        work: List[Tuple[int, "Iterable[int]"]] = [
+            (root, iter_bits(succ_masks[root] & allowed_mask))
+        ]
+        indices[root] = lowlinks[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack |= 1 << root
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for nxt in successors:
+                if nxt not in indices:
+                    indices[nxt] = lowlinks[nxt] = counter
+                    counter += 1
+                    stack.append(nxt)
+                    on_stack |= 1 << nxt
+                    work.append((nxt, iter_bits(succ_masks[nxt] & allowed_mask)))
+                    advanced = True
+                    break
+                if on_stack & (1 << nxt):
+                    lowlinks[node] = min(lowlinks[node], indices[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indices[node]:
+                component = 0
+                while True:
+                    member = stack.pop()
+                    on_stack &= ~(1 << member)
+                    component |= 1 << member
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def _source_component_scan(
+    succ_masks: Sequence[int], pred_masks: Sequence[int], blocked_mask: int, full_mask: int
+) -> int:
+    """Mother-vertex scan: O(V + E) masked BFS waves instead of an all-pairs
+    closure.
+
+    Sweep the vertices in bit order, forward-BFS from each not-yet-seen one;
+    only the last start can reach everything (any earlier full-reaching
+    vertex would have absorbed every later start into its wave).  If that
+    candidate's descendants are all of ``V``, the component is exactly the
+    candidate plus everything that reaches it (one backward wave) — each
+    such node reaches all of ``V`` through the candidate.
+    """
+    if full_mask == 0:
+        return 0
+    visited = 0
+    candidate_bit = 0
+    candidate_desc = 0
+    starts = full_mask
+    while starts:
+        start_bit = starts & -starts
+        starts ^= start_bit
+        if visited & start_bit:
+            continue
+        seen = start_bit
+        frontier = start_bit
+        while True:
+            expand = frontier & ~blocked_mask
+            nxt = 0
+            while expand:
+                low = expand & -expand
+                expand ^= low
+                nxt |= succ_masks[low.bit_length() - 1]
+            frontier = nxt & ~seen
+            if not frontier:
+                break
+            seen |= frontier
+        visited |= seen
+        candidate_bit = start_bit
+        candidate_desc = seen
+    if candidate_desc != full_mask:
+        return 0
+    members = candidate_bit
+    frontier = candidate_bit
+    while frontier:
+        nxt = 0
+        while frontier:
+            low = frontier & -frontier
+            frontier ^= low
+            nxt |= pred_masks[low.bit_length() - 1]
+        frontier = nxt & ~blocked_mask & ~members
+        members |= frontier
+    return members
 
 
 class PathCodec:
@@ -285,7 +491,7 @@ class BitsetIndex:
     """
 
     __slots__ = ("nodes", "index", "n", "full_mask", "pred_masks", "succ_masks",
-                 "_reach_memo", "_source_memo")
+                 "_reach_memo", "_source_memo", "_backend")
 
     #: Bound on each internal memo.  The shared instance lives as long as its
     #: graph, so the memos must be self-limiting: exhaustive sweeps on larger
@@ -317,6 +523,40 @@ class BitsetIndex:
         self._reach_memo: Dict[int, Tuple[int, ...]] = {}
         #: blocked_mask → source-component mask (Definition 6).
         self._source_memo: Dict[int, int] = {}
+        #: computation backend, resolved lazily (per graph size + override).
+        self._backend: Optional["BitsetBackend"] = None
+
+    # ------------------------------------------------------------------
+    # computation backend
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> "BitsetBackend":
+        """The resolved computation backend of this index.
+
+        Selected on first use through
+        :func:`repro.graphs.bitset_backends.get_backend` (explicit
+        ``REPRO_BITSET_BACKEND`` override, else numpy — when installed — for
+        graphs at or above the auto-selection threshold, else the inlined
+        python kernels).  Pin explicitly with :meth:`set_backend`.
+        """
+        backend = self._backend
+        if backend is None:
+            from repro.graphs.bitset_backends import get_backend
+
+            backend = get_backend(self.n)
+            self._backend = backend
+        return backend
+
+    def set_backend(self, backend: Optional[object]) -> None:
+        """Pin the computation backend (a registered name, a backend object,
+        or ``None`` to re-resolve automatically on next use)."""
+        if backend is None or not isinstance(backend, str):
+            self._backend = backend  # type: ignore[assignment]
+        else:
+            from repro.registry import BITSET_BACKENDS
+
+            self._backend = BITSET_BACKENDS.get(backend)
+        self.clear_memos()
 
     # ------------------------------------------------------------------
     # shared per-graph instances
@@ -337,6 +577,16 @@ class BitsetIndex:
         instance = cls(graph)
         graph.__dict__["_bitset_index"] = (version, instance)
         return instance
+
+    @classmethod
+    def peek(cls, graph: DiGraph) -> Optional["BitsetIndex"]:
+        """The shared index of ``graph`` if one is already built and current,
+        else ``None`` — never triggers a build (cache diagnostics)."""
+        version = getattr(graph, "_version", None)
+        cached = graph.__dict__.get("_bitset_index")
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        return None
 
     # ------------------------------------------------------------------
     # multiprocessing payload
@@ -406,11 +656,42 @@ class BitsetIndex:
         if cached is not None:
             return cached
         allowed = self.full_mask & ~excluded_mask
-        result = tuple(_closure_masks(self.pred_masks, allowed, self.n))
+        result = self.backend.closure(self.pred_masks, allowed, self.n)
         if len(memo) >= self.MEMO_LIMIT:
             memo.pop(next(iter(memo)))  # insertion order: evict the oldest
         memo[excluded_mask] = result
         return result
+
+    #: How many closures a single :meth:`reach_masks_many` backend call may
+    #: batch.  Bounds the numpy working set (a batch is a ``B × n × n``
+    #: boolean cube) and keeps each batch well inside :attr:`MEMO_LIMIT`.
+    CLOSURE_BATCH = 256
+
+    def reach_masks_many(
+        self, excluded_masks: Sequence[int]
+    ) -> List[Tuple[int, ...]]:
+        """:meth:`reach_masks` for a whole batch of exclusion sets.
+
+        Misses are computed through the backend's batched closure kernel
+        (one packed boolean-matrix repeated-squaring pass per
+        :attr:`CLOSURE_BATCH` on numpy, a plain loop on python) and fill the
+        per-exclusion memo exactly like single queries, so the enumeration
+        sweeps in :mod:`repro.conditions.reach_conditions` can pre-warm a
+        chunk and then consult the memo mask by mask.
+        """
+        memo = self._reach_memo
+        missing = [mask for mask in dict.fromkeys(excluded_masks) if mask not in memo]
+        full = self.full_mask
+        for start in range(0, len(missing), self.CLOSURE_BATCH):
+            chunk = missing[start : start + self.CLOSURE_BATCH]
+            rows = self.backend.closure_many(
+                self.pred_masks, [full & ~mask for mask in chunk], self.n
+            )
+            for mask, result in zip(chunk, rows):
+                if len(memo) >= self.MEMO_LIMIT:
+                    memo.pop(next(iter(memo)))
+                memo[mask] = result
+        return [self.reach_masks(mask) for mask in excluded_masks]
 
     def reach_mask(self, node: Node, excluded_mask: int = 0) -> int:
         """``reach_node(F)`` as a bitmask (single-node convenience)."""
@@ -432,7 +713,7 @@ class BitsetIndex:
             adj = self.reduced_succ_masks(blocked_mask)
         else:
             adj = self.succ_masks
-        return tuple(_closure_masks(adj, allowed, self.n))
+        return self.backend.closure(adj, allowed, self.n)
 
     # ------------------------------------------------------------------
     # reduced graph (Definition 5) and source component (Definition 6)
@@ -468,60 +749,12 @@ class BitsetIndex:
         return result
 
     def _source_component_uncached(self, blocked_mask: int) -> int:
-        """Mother-vertex scan: O(V + E) masked BFS waves instead of an
-        all-pairs closure.
-
-        Sweep the vertices in bit order, forward-BFS from each not-yet-seen
-        one; only the last start can reach everything (any earlier
-        full-reaching vertex would have absorbed every later start into its
-        wave).  If that candidate's descendants are all of ``V``, the
-        component is exactly the candidate plus everything that reaches it
-        (one backward wave) — each such node reaches all of ``V`` through
-        the candidate.
-        """
-        full = self.full_mask
-        if full == 0:
-            return 0
-        succ_masks = self.succ_masks
-        visited = 0
-        candidate_bit = 0
-        candidate_desc = 0
-        starts = full
-        while starts:
-            start_bit = starts & -starts
-            starts ^= start_bit
-            if visited & start_bit:
-                continue
-            seen = start_bit
-            frontier = start_bit
-            while True:
-                expand = frontier & ~blocked_mask
-                nxt = 0
-                while expand:
-                    low = expand & -expand
-                    expand ^= low
-                    nxt |= succ_masks[low.bit_length() - 1]
-                frontier = nxt & ~seen
-                if not frontier:
-                    break
-                seen |= frontier
-            visited |= seen
-            candidate_bit = start_bit
-            candidate_desc = seen
-        if candidate_desc != full:
-            return 0
-        pred_masks = self.pred_masks
-        members = candidate_bit
-        frontier = candidate_bit
-        while frontier:
-            nxt = 0
-            while frontier:
-                low = frontier & -frontier
-                frontier ^= low
-                nxt |= pred_masks[low.bit_length() - 1]
-            frontier = nxt & ~blocked_mask & ~members
-            members |= frontier
-        return members
+        """Single uncached source-component query, routed to the backend
+        (mother-vertex scan on python, closure rows on numpy — see
+        :func:`_source_component_scan` for the reference algorithm)."""
+        return self.backend.source_component(
+            self.succ_masks, self.pred_masks, blocked_mask, self.full_mask
+        )
 
     # ------------------------------------------------------------------
     # strongly connected components (bitmask iterative Tarjan)
@@ -535,54 +768,7 @@ class BitsetIndex:
         """
         if allowed_mask is None:
             allowed_mask = self.full_mask
-        succ_masks = self.succ_masks
-        indices: Dict[int, int] = {}
-        lowlinks: Dict[int, int] = {}
-        on_stack = 0
-        stack: List[int] = []
-        components: List[int] = []
-        counter = 0
-
-        for root in iter_bits(allowed_mask):
-            if root in indices:
-                continue
-            work: List[Tuple[int, "Iterable[int]"]] = [
-                (root, iter_bits(succ_masks[root] & allowed_mask))
-            ]
-            indices[root] = lowlinks[root] = counter
-            counter += 1
-            stack.append(root)
-            on_stack |= 1 << root
-            while work:
-                node, successors = work[-1]
-                advanced = False
-                for nxt in successors:
-                    if nxt not in indices:
-                        indices[nxt] = lowlinks[nxt] = counter
-                        counter += 1
-                        stack.append(nxt)
-                        on_stack |= 1 << nxt
-                        work.append((nxt, iter_bits(succ_masks[nxt] & allowed_mask)))
-                        advanced = True
-                        break
-                    if on_stack & (1 << nxt):
-                        lowlinks[node] = min(lowlinks[node], indices[nxt])
-                if advanced:
-                    continue
-                work.pop()
-                if work:
-                    parent = work[-1][0]
-                    lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
-                if lowlinks[node] == indices[node]:
-                    component = 0
-                    while True:
-                        member = stack.pop()
-                        on_stack &= ~(1 << member)
-                        component |= 1 << member
-                        if member == node:
-                            break
-                    components.append(component)
-        return components
+        return self.backend.scc_masks(self.succ_masks, allowed_mask, self.n)
 
     def in_neighbors_mask(self, subset_mask: int, allowed_mask: Optional[int] = None) -> int:
         """Incoming neighbourhood ``N-_B`` of ``subset`` restricted to

@@ -1,0 +1,231 @@
+"""Pluggable computation backends for the bitmask graph engine.
+
+:class:`~repro.graphs.bitset.BitsetIndex` defines *what* the mask algebra
+means (reach closure, SCC masks, source components, f-covers); a
+:class:`BitsetBackend` defines *how fast* it is computed.  Two built-ins
+register into :data:`repro.registry.BITSET_BACKENDS`:
+
+``python``
+    The inlined big-int kernels of :mod:`repro.graphs.bitset` — zero
+    dependencies, unbeatable on small graphs where a node set is one
+    machine word and Python-level loops stay short.
+
+``numpy`` (the ``repro[fast]`` extra)
+    Packed boolean matrices with repeated-squaring closure and batched
+    hitting-set checks (:mod:`repro.graphs.bitset_numpy`) — registered only
+    when numpy imports, and auto-selected for graphs with
+    ``n >= NUMPY_MIN_NODES`` where the per-node Python loops start to
+    dominate.
+
+Backends are a speed knob, never a semantics knob: every backend must return
+**identical masks and verdicts** for every query (property-tested against
+each other and the BFS/networkx oracles in ``tests/test_bitset.py``), which
+is what keeps sweep artifacts byte-identical whichever backend computed them.
+The one sanctioned divergence is SCC *emission order*, constrained to "some
+reverse topological order of the condensation" rather than Tarjan's exact
+order — no recorded result depends on it.
+
+Selection
+---------
+:func:`get_backend` resolves the backend for a graph of ``n`` nodes:
+
+1. ``REPRO_BITSET_BACKEND`` (or the ``--bitset-backend`` CLI flag, which
+   sets the same variable so forked/spawned sweep workers inherit it) names
+   a registered backend explicitly; ``auto`` or unset means automatic.
+   Naming ``numpy`` without numpy installed is an explicit contradiction
+   and raises; automatic selection falls back to ``python`` silently.
+2. Automatic: ``numpy`` iff available and ``n >= NUMPY_MIN_NODES``, else
+   ``python``.
+
+Backends are stateless singletons — one instance serves every
+:class:`BitsetIndex` of every size concurrently.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import ExperimentError
+from repro.graphs.bitset import (
+    _closure_masks,
+    _source_component_scan,
+    _tarjan_scc_masks,
+    find_disjoint_pair,
+    has_f_cover_masks,
+)
+from repro.registry import BITSET_BACKENDS
+
+#: Environment variable naming the backend explicitly (``auto`` = automatic).
+ENV_VAR = "REPRO_BITSET_BACKEND"
+
+#: Automatic selection threshold: below this many nodes the big-int kernels
+#: win (masks are single machine words, loops are short); at and above it the
+#: numpy backend's vectorized closure pays for its fixed per-call overhead.
+#: Calibrated by ``benchmarks/bench_bitset.py`` (n=24 is the crossover probe
+#: CI gates on).
+NUMPY_MIN_NODES = 24
+
+
+class BitsetBackend:
+    """Interface every bitset computation backend implements.
+
+    All arguments and results are plain Python ints (bitmasks) and
+    sequences thereof — conversion to any internal representation is the
+    backend's private business, so backends are freely interchangeable
+    mid-process.  Default implementations delegate to the reference python
+    kernels; a backend overrides whichever queries it can accelerate.
+    """
+
+    #: Registry name (diagnostics / provenance).
+    name = "abstract"
+
+    # -- closure --------------------------------------------------------
+    def closure(
+        self, adj: Sequence[int], allowed_mask: int, n: int
+    ) -> Tuple[int, ...]:
+        """Reflexive-transitive closure of ``adj`` restricted to
+        ``allowed_mask`` (see :func:`repro.graphs.bitset._closure_masks`);
+        entries outside ``allowed_mask`` are 0."""
+        return tuple(_closure_masks(adj, allowed_mask, n))
+
+    def closure_many(
+        self, adj: Sequence[int], allowed_masks: Sequence[int], n: int
+    ) -> List[Tuple[int, ...]]:
+        """:meth:`closure` for a batch of ``allowed`` masks over one
+        adjacency — the numpy backend computes the whole batch as one
+        ``B × n × n`` repeated-squaring pass."""
+        return [self.closure(adj, allowed, n) for allowed in allowed_masks]
+
+    # -- components -----------------------------------------------------
+    def scc_masks(
+        self, succ_masks: Sequence[int], allowed_mask: int, n: int
+    ) -> List[int]:
+        """SCC masks of the subgraph induced on ``allowed_mask``, in *some*
+        reverse topological order of the condensation (the one ordering
+        freedom backends have; the component *set* must be identical)."""
+        return _tarjan_scc_masks(succ_masks, allowed_mask)
+
+    def source_component(
+        self,
+        succ_masks: Sequence[int],
+        pred_masks: Sequence[int],
+        blocked_mask: int,
+        full_mask: int,
+    ) -> int:
+        """Source component of the reduced graph (Definition 6): the mask of
+        nodes reaching all of ``V`` once outgoing edges of ``blocked_mask``
+        are cut."""
+        return _source_component_scan(succ_masks, pred_masks, blocked_mask, full_mask)
+
+    # -- f-covers -------------------------------------------------------
+    def has_f_cover(self, masks: Sequence[int], f: int) -> bool:
+        """Existence of an f-cover over mask-encoded path sets (Definition 4;
+        exact semantics of :func:`repro.graphs.bitset.has_f_cover_masks`)."""
+        return has_f_cover_masks(masks, f)
+
+    def any_f_cover(self, groups: Sequence[Sequence[int]], f: int) -> bool:
+        """``True`` when any group admits an f-cover (the batched per-origin
+        form; the numpy backend tests single-node covers for every origin in
+        one vectorized sweep)."""
+        for group in groups:
+            if self.has_f_cover(group, f):
+                return True
+        return False
+
+    # -- disjointness ---------------------------------------------------
+    def find_disjoint_pair(self, masks: Sequence[int]) -> Optional[Tuple[int, int]]:
+        """Lexicographically first disjoint pair, exactly as
+        :func:`repro.graphs.bitset.find_disjoint_pair` (violation witnesses
+        and ``checks_performed`` accounting depend on the position)."""
+        return find_disjoint_pair(masks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class PythonBitsetBackend(BitsetBackend):
+    """The reference backend: the inlined big-int kernels, dependency-free."""
+
+    name = "python"
+
+
+#: The always-available reference backend singleton.
+PYTHON_BACKEND = PythonBitsetBackend()
+
+BITSET_BACKENDS.register(
+    "python",
+    PYTHON_BACKEND,
+    summary="pure-python big-int kernels (reference; fastest on small graphs)",
+)
+
+try:  # pragma: no branch - import success depends on the environment
+    from repro.graphs.bitset_numpy import NumpyBitsetBackend
+
+    #: The numpy backend singleton, or ``None`` when numpy is not installed.
+    NUMPY_BACKEND: Optional[BitsetBackend] = NumpyBitsetBackend()
+except ImportError:  # numpy absent: the [fast] extra is optional
+    NUMPY_BACKEND = None
+else:
+    BITSET_BACKENDS.register(
+        "numpy",
+        NUMPY_BACKEND,
+        summary="packed boolean matrices, repeated-squaring closure (repro[fast])",
+    )
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend registered (i.e. numpy imports here)."""
+    return NUMPY_BACKEND is not None
+
+
+def get_backend(n: int) -> BitsetBackend:
+    """Resolve the backend for a graph of ``n`` nodes.
+
+    An explicit ``REPRO_BITSET_BACKEND`` (anything but empty / ``auto``)
+    wins and resolves through the registry — including backends registered
+    ``temporarily()`` by tests — with a did-you-mean error for unknown
+    names.  Asking for ``numpy`` without numpy installed raises
+    :class:`~repro.exceptions.ExperimentError` naming the ``repro[fast]``
+    extra; *automatic* selection falls back to python silently instead.
+    """
+    override = os.environ.get(ENV_VAR, "").strip().lower()
+    if override and override != "auto":
+        if override == "numpy" and NUMPY_BACKEND is None:
+            raise ExperimentError(
+                f"{ENV_VAR}=numpy requested but numpy is not installed; "
+                "install the fast extra (pip install 'repro[fast]') or unset "
+                f"{ENV_VAR} to fall back to the python backend"
+            )
+        return BITSET_BACKENDS.get(override)
+    if NUMPY_BACKEND is not None and n >= NUMPY_MIN_NODES:
+        return NUMPY_BACKEND
+    return PYTHON_BACKEND
+
+
+def backend_policy() -> str:
+    """Human/provenance description of the process-wide selection policy.
+
+    Recorded in artifact environment metadata and the profile table so BENCH
+    entries are attributable to a backend; ``compare()`` ignores environment
+    metadata, so the string never breaks cross-backend byte-identity checks.
+    """
+    override = os.environ.get(ENV_VAR, "").strip().lower()
+    if override and override != "auto":
+        return override
+    if NUMPY_BACKEND is not None:
+        return f"auto(numpy at n>={NUMPY_MIN_NODES})"
+    return "auto(python; numpy unavailable)"
+
+
+__all__ = [
+    "BitsetBackend",
+    "ENV_VAR",
+    "NUMPY_BACKEND",
+    "NUMPY_MIN_NODES",
+    "PYTHON_BACKEND",
+    "PythonBitsetBackend",
+    "backend_policy",
+    "get_backend",
+    "numpy_available",
+]

@@ -330,6 +330,17 @@ STOP_POLICIES: Registry = Registry(
     "stop-policy", providers=("repro.runner.session",), plural="stop-policies"
 )
 
+#: Bitset computation backends (``REPRO_BITSET_BACKEND`` / ``--bitset-backend``).
+#: Registered objects are :class:`~repro.graphs.bitset_backends.BitsetBackend`
+#: singletons; ``python`` is always present, ``numpy`` only when numpy
+#: imports (the ``repro[fast]`` extra).  Backends must return identical masks
+#: and verdicts — they are a speed knob, never a semantics knob.
+BITSET_BACKENDS: Registry = Registry(
+    "bitset-backend",
+    providers=("repro.graphs.bitset_backends",),
+    plural="bitset-backends",
+)
+
 #: Every registry, keyed by its plural CLI/docs name.
 ALL_REGISTRIES: Dict[str, Registry] = {
     "topologies": TOPOLOGIES,
@@ -338,6 +349,7 @@ ALL_REGISTRIES: Dict[str, Registry] = {
     "algorithms": ALGORITHMS,
     "delays": DELAYS,
     "stop-policies": STOP_POLICIES,
+    "bitset-backends": BITSET_BACKENDS,
 }
 
 
@@ -346,6 +358,7 @@ __all__ = [
     "ALL_REGISTRIES",
     "API_VERSION",
     "BEHAVIORS",
+    "BITSET_BACKENDS",
     "DELAYS",
     "PLACEMENTS",
     "Registry",

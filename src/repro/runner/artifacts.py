@@ -65,12 +65,23 @@ PathLike = Union[str, pathlib.Path]
 # provenance metadata
 # ----------------------------------------------------------------------
 def environment_metadata() -> Dict[str, str]:
-    """Interpreter / platform provenance recorded alongside results."""
+    """Interpreter / platform provenance recorded alongside results.
+
+    ``bitset_backend`` records the process-wide backend selection policy
+    (see :func:`repro.graphs.bitset_backends.backend_policy`) so every
+    artifact and journal header is attributable to a backend.  Like the
+    rest of the environment block it is provenance only: :func:`compare`
+    never reads it, so baselines recorded under one backend gate runs under
+    another.
+    """
+    from repro.graphs.bitset_backends import backend_policy
+
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": sys.platform,
         "machine": platform.machine(),
+        "bitset_backend": backend_policy(),
     }
 
 

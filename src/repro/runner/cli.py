@@ -52,6 +52,7 @@ import argparse
 import cProfile
 import importlib
 import io
+import os
 import pathlib
 import pstats
 import sys
@@ -60,6 +61,7 @@ from collections import Counter
 from typing import List, Optional, Sequence, Tuple
 
 from repro.exceptions import ReproError
+from repro.graphs.bitset_backends import backend_policy
 from repro.registry import ALL_REGISTRIES
 from repro.runner.artifacts import compare_files
 from repro.runner.harness import NOT_APPLICABLE, GridSpec, SweepEngine
@@ -71,6 +73,7 @@ from repro.runner.scenarios import (
     get_scenario,
     warm_worker_caches,
 )
+from repro.runner.worker_cache import bitset_cache_stats, worker_cache_stats
 from repro.runner.session import (
     CellCompleted,
     ExperimentSession,
@@ -196,6 +199,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render a live one-line progress view from the session event stream",
     )
+    run_parser.add_argument(
+        "--bitset-backend",
+        default=None,
+        metavar="NAME",
+        help="bitset computation backend: a registered name (see 'list --plugins') "
+        "or 'auto' (default: auto — numpy on large graphs when installed); "
+        "exported as REPRO_BITSET_BACKEND so sweep workers inherit it",
+    )
 
     compare_parser = commands.add_parser(
         "compare", help="diff an artifact against a baseline; exit 1 on drift"
@@ -253,7 +264,31 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also dump the raw pstats file here (for snakeviz etc.)",
     )
+    profile_parser.add_argument(
+        "--bitset-backend",
+        default=None,
+        metavar="NAME",
+        help="bitset computation backend to profile under (a registered name "
+        "or 'auto'; exported as REPRO_BITSET_BACKEND)",
+    )
     return parser
+
+
+def _apply_bitset_backend(name: Optional[str]) -> None:
+    """Export ``--bitset-backend`` as ``REPRO_BITSET_BACKEND``.
+
+    The flag goes through the environment rather than a parameter so
+    forked/spawned sweep workers inherit the choice for free.  The name is
+    resolved once up front: unknown names fail fast with the registry's
+    did-you-mean error, and naming ``numpy`` without numpy installed raises
+    before any cells run.
+    """
+    if name is None:
+        return
+    from repro.graphs.bitset_backends import ENV_VAR, get_backend
+
+    os.environ[ENV_VAR] = name.strip().lower() or "auto"
+    get_backend(0)
 
 
 def _axes_detail(spec: GridSpec) -> str:
@@ -397,6 +432,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             importlib.import_module(module)
         except ImportError as error:
             raise ReproError(f"cannot import plugin module {module!r}: {error}") from None
+    # After plugin imports so a plugin-registered backend is a valid name.
+    _apply_bitset_backend(args.bitset_backend)
     policies = tuple(args.stop_policy or ())
     if args.resume is not None:
         if args.scenario or args.scenario_file or args.journal or args.run_dir:
@@ -444,6 +481,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     start — what a fresh worker pays — rather than whatever this process
     happened to have warm.
     """
+    _apply_bitset_backend(args.bitset_backend)
     scenario = get_scenario(args.scenario)
     spec = scenario.grid(quick=args.quick)
     engine = SweepEngine(workers=args.workers)
@@ -472,6 +510,27 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         [name, f"{seconds:.4f}", f"{(seconds / total * 100 if total else 0):.1f}%", note]
         for name, seconds, note in phases
     ]
+    caches = worker_cache_stats()
+    bitset = bitset_cache_stats()
+    rows.append(
+        [
+            "bitset",
+            "-",
+            "-",
+            f"backend={backend_policy()} indexes={bitset['indexes']} "
+            f"reach-memo={bitset['reach_exclusions']} "
+            f"source-memo={bitset['source_components']}",
+        ]
+    )
+    rows.append(
+        [
+            "caches",
+            "-",
+            "-",
+            f"graphs={caches['graphs']} knowledge={caches['knowledge']} "
+            f"(this process; workers keep their own)",
+        ]
+    )
     print(format_table(["phase", "seconds", "share", "detail"], rows))
     rate = len(result.cells) / result.wall_seconds if result.wall_seconds else float("inf")
     print(f"\n{spec.name}: {len(result.cells)} cells, {rate:.1f} cells/s\n")

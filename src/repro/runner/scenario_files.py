@@ -73,6 +73,7 @@ BUILTIN_SCENARIO_ORDER = (
     "table1",
     "table2",
     "necessity",
+    "scaling",
 )
 
 SCENARIO_SCHEMA_VERSION = 1

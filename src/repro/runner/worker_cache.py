@@ -107,6 +107,27 @@ def worker_cache_stats() -> Dict[str, int]:
     return {"graphs": len(_GRAPH_CACHE), "knowledge": len(_KNOWLEDGE_CACHE)}
 
 
+def bitset_cache_stats() -> Dict[str, int]:
+    """Aggregate bitset-memo sizes across the cached graphs (diagnostics).
+
+    Counts only indexes that already exist (:meth:`BitsetIndex.peek` never
+    builds one), so reading the stats cannot perturb what it measures.
+    ``indexes`` is the number of cached graphs carrying a live index;
+    ``reach_exclusions`` / ``source_components`` sum their memo sizes.
+    """
+    from repro.graphs.bitset import BitsetIndex
+
+    stats = {"indexes": 0, "reach_exclusions": 0, "source_components": 0}
+    for graph in _GRAPH_CACHE.values():
+        index = BitsetIndex.peek(graph)
+        if index is None:
+            continue
+        stats["indexes"] += 1
+        for key, size in index.memo_sizes().items():
+            stats[key] += size
+    return stats
+
+
 def clear_worker_caches() -> None:
     """Drop the process-global topology caches (tests / cold-start benches)."""
     _GRAPH_CACHE.clear()
@@ -115,6 +136,7 @@ def clear_worker_caches() -> None:
 
 __all__ = [
     "WORKER_CACHE_LIMIT",
+    "bitset_cache_stats",
     "cached_graph",
     "cached_topology_knowledge",
     "clear_worker_caches",

@@ -58,7 +58,13 @@ class TestPayload:
 
     def test_provenance_helpers(self):
         env = environment_metadata()
-        assert set(env) == {"python", "implementation", "platform", "machine"}
+        assert set(env) == {
+            "python",
+            "implementation",
+            "platform",
+            "machine",
+            "bitset_backend",
+        }
         git = git_metadata()
         assert git is None or {"commit", "dirty"} <= set(git)
 

@@ -3,18 +3,41 @@
 The engine must agree with (a) literal frozenset/BFS transcriptions of the
 paper's definitions — re-implemented here independently of the library — and
 (b) the ``networkx`` oracle, on random graphs and random exclusion sets.
+
+The cross-backend sections at the bottom hold every registered
+:data:`~repro.registry.BITSET_BACKENDS` entry to the backend contract:
+identical masks and verdicts on every query (SCC emission order excepted —
+any reverse topological order is legal), on random digraphs up to n=48.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from itertools import combinations
 
 import networkx as nx
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.graphs.bitset import BitsetIndex, iter_bits, popcount
+from repro.exceptions import ExperimentError, UnknownPluginError
+from repro.graphs.bitset import (
+    BitsetIndex,
+    candidate_coverages,
+    has_f_cover_masks,
+    iter_bits,
+    popcount,
+    prune_dominated_coverages,
+)
+from repro.graphs.bitset_backends import (
+    ENV_VAR,
+    NUMPY_MIN_NODES,
+    PYTHON_BACKEND,
+    BitsetBackend,
+    backend_policy,
+    get_backend,
+    numpy_available,
+)
 from repro.graphs.digraph import DiGraph
 from repro.graphs.generators import complete_digraph, directed_cycle, figure_1a
 from repro.graphs.reach import (
@@ -24,8 +47,18 @@ from repro.graphs.reach import (
     reach_sets_for_all_nodes,
     source_component,
 )
+from repro.registry import BITSET_BACKENDS
 
 SETTINGS = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+#: Parity runs fewer, larger examples — each one compares whole mask tables.
+PARITY_SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend not installed (repro[fast])"
+)
 
 
 # ----------------------------------------------------------------------
@@ -268,3 +301,301 @@ class TestEngineMemoBound:
         assert index.memo_sizes()["reach_exclusions"] <= 4
         # Evicted entries are recomputed correctly on re-query.
         assert index.nodes_of(index.reach_masks(1)[1]) == reach_set(graph, 1, {0})
+
+
+# ----------------------------------------------------------------------
+# cross-backend parity (the backend contract)
+# ----------------------------------------------------------------------
+@st.composite
+def mask_digraph(draw, max_nodes=48, max_batch=0):
+    """Adjacency masks of a random digraph (mask-level, so n=48 stays cheap),
+    a random allowed mask, and optionally a batch of allowed masks."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    full = (1 << n) - 1
+    adj = [
+        draw(st.integers(min_value=0, max_value=full)) & ~(1 << i) for i in range(n)
+    ]
+    allowed = draw(st.integers(min_value=0, max_value=full))
+    batch = []
+    if max_batch:
+        batch = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=full), min_size=0, max_size=max_batch
+            )
+        )
+    return n, adj, allowed, batch
+
+
+@st.composite
+def path_masks(draw, max_bits=12, max_masks=8):
+    """Random path-member masks plus an f bound (f-cover parity inputs)."""
+    bits = draw(st.integers(min_value=1, max_value=max_bits))
+    full = (1 << bits) - 1
+    masks = draw(
+        st.lists(st.integers(min_value=0, max_value=full), min_size=0, max_size=max_masks)
+    )
+    f = draw(st.integers(min_value=0, max_value=3))
+    return masks, f
+
+
+def _closure_bfs(adj, allowed_mask, n):
+    """Independent oracle for the backend ``closure`` contract: per-row BFS
+    restricted to ``allowed_mask``; rows outside it are 0."""
+    rows = []
+    for i in range(n):
+        if not (allowed_mask >> i) & 1:
+            rows.append(0)
+            continue
+        seen = 1 << i
+        frontier = [i]
+        while frontier:
+            fresh = adj[frontier.pop()] & allowed_mask & ~seen
+            seen |= fresh
+            frontier.extend(iter_bits(fresh))
+        rows.append(seen)
+    return tuple(rows)
+
+
+def _f_cover_bruteforce(masks, f):
+    """Literal Definition 4 oracle: try every candidate subset of size <= f."""
+    if not masks:
+        return True
+    union = 0
+    for mask in masks:
+        union |= mask
+    candidates = list(iter_bits(union))
+    for size in range(1, f + 1):
+        for combo in combinations(candidates, size):
+            cover = 0
+            for bit in combo:
+                cover |= 1 << bit
+            if all(mask & cover for mask in masks):
+                return True
+    return False
+
+
+def _all_backends():
+    return [entry.obj for entry in BITSET_BACKENDS.entries()]
+
+
+class TestCoveragePruning:
+    """Exact semantics of the dominated-coverage pruning helpers."""
+
+    def test_candidate_coverages_bit_order_and_contents(self):
+        masks = [0b011, 0b110, 0b010]
+        # candidates in ascending bit order: 0 on path 0, 1 on all three,
+        # 2 on path 1
+        assert candidate_coverages(masks, 0b111) == [0b001, 0b111, 0b010]
+
+    def test_strict_subset_is_dropped(self):
+        assert prune_dominated_coverages([0b01, 0b11]) == [0b11]
+        assert prune_dominated_coverages([0b11, 0b01]) == [0b11]
+
+    def test_equal_coverages_keep_first(self):
+        assert prune_dominated_coverages([0b10, 0b10, 0b01]) == [0b10, 0b01]
+
+    def test_incomparable_coverages_all_kept(self):
+        assert prune_dominated_coverages([0b011, 0b110, 0b101]) == [0b011, 0b110, 0b101]
+
+    @PARITY_SETTINGS
+    @given(path_masks(max_bits=10, max_masks=8))
+    def test_pruning_preserves_f_cover_existence(self, data):
+        # The pruned search (has_f_cover_masks) against the literal
+        # all-subsets oracle, which never prunes.
+        masks, f = data
+        assert has_f_cover_masks(masks, f) is _f_cover_bruteforce(masks, f)
+
+
+class TestBackendParity:
+    """Every registered backend returns identical masks and verdicts."""
+
+    @PARITY_SETTINGS
+    @given(mask_digraph(max_nodes=48))
+    def test_closure_parity(self, data):
+        n, adj, allowed, _ = data
+        expected = _closure_bfs(adj, allowed, n)
+        for backend in _all_backends():
+            assert backend.closure(adj, allowed, n) == expected, backend.name
+
+    @PARITY_SETTINGS
+    @given(mask_digraph(max_nodes=40, max_batch=24))
+    def test_closure_many_parity(self, data):
+        n, adj, allowed, batch = data
+        # max_batch crosses the numpy backend's vectorized threshold (>= 8)
+        # while small draws exercise its scalar fallback too.
+        expected = [_closure_bfs(adj, mask, n) for mask in batch]
+        for backend in _all_backends():
+            assert backend.closure_many(adj, batch, n) == expected, backend.name
+
+    @PARITY_SETTINGS
+    @given(mask_digraph(max_nodes=48))
+    def test_scc_parity_as_sets_and_order(self, data):
+        n, adj, allowed, _ = data
+        reference = PYTHON_BACKEND.scc_masks(adj, allowed, n)
+        for backend in _all_backends():
+            components = backend.scc_masks(adj, allowed, n)
+            assert sorted(components) == sorted(reference), backend.name
+            emitted = 0
+            for mask in components:
+                for i in iter_bits(mask):
+                    # reverse topological order: successors outside the
+                    # component were all emitted earlier
+                    assert adj[i] & allowed & ~mask & ~emitted == 0, backend.name
+                emitted |= mask
+
+    @PARITY_SETTINGS
+    @given(mask_digraph(max_nodes=48))
+    def test_source_component_parity(self, data):
+        n, adj, blocked, _ = data
+        full = (1 << n) - 1
+        pred = [0] * n
+        for i in range(n):
+            for j in iter_bits(adj[i]):
+                pred[j] |= 1 << i
+        expected = PYTHON_BACKEND.source_component(adj, pred, blocked, full)
+        for backend in _all_backends():
+            assert backend.source_component(adj, pred, blocked, full) == expected, (
+                backend.name
+            )
+
+    @PARITY_SETTINGS
+    @given(path_masks())
+    def test_f_cover_parity_against_bruteforce(self, data):
+        masks, f = data
+        expected = _f_cover_bruteforce(masks, f)
+        for backend in _all_backends():
+            assert backend.has_f_cover(masks, f) is expected, backend.name
+
+    @PARITY_SETTINGS
+    @given(st.lists(path_masks(max_bits=10, max_masks=6), min_size=0, max_size=5))
+    def test_any_f_cover_parity(self, groups_with_f):
+        groups = [masks for masks, _ in groups_with_f]
+        for f in range(4):
+            expected = any(_f_cover_bruteforce(masks, f) for masks in groups)
+            for backend in _all_backends():
+                assert backend.any_f_cover(groups, f) is expected, backend.name
+
+    @PARITY_SETTINGS
+    @given(
+        st.lists(st.integers(min_value=0, max_value=(1 << 48) - 1), max_size=40)
+    )
+    def test_find_disjoint_pair_parity(self, masks):
+        # The contract pins the exact pair, not just existence: violation
+        # witnesses and checks_performed accounting depend on the position.
+        expected = PYTHON_BACKEND.find_disjoint_pair(masks)
+        for backend in _all_backends():
+            assert backend.find_disjoint_pair(masks) == expected, backend.name
+        if expected is not None:
+            a, b = expected
+            assert a < b and masks[a] & masks[b] == 0
+            for i, j in combinations(range(len(masks)), 2):
+                if masks[i] & masks[j] == 0:
+                    assert (i, j) == (a, b)
+                    break
+
+    @needs_numpy
+    def test_index_level_parity_on_large_graph(self):
+        """End to end through BitsetIndex: same graph, both backends, same
+        reach tables / SCC sets / source components at n=32 (above the
+        auto-selection threshold)."""
+        rng_edges = [(i, (i * 7 + offset) % 32) for i in range(32) for offset in (1, 3, 9)]
+        graph = DiGraph(nodes=range(32))
+        for u, v in rng_edges:
+            if u != v:
+                graph.add_edge(u, v)
+        results = {}
+        for name in ("python", "numpy"):
+            index = BitsetIndex(graph)
+            index.set_backend(name)
+            reaches = index.reach_masks_many([0, 1, 0b1010, (1 << 13) - 1])
+            sccs = sorted(index.scc_masks())
+            source = index.source_component_mask(0b110)
+            results[name] = (reaches, sccs, source)
+        assert results["python"] == results["numpy"]
+
+
+class TestBackendSelection:
+    """get_backend / backend_policy: env override, auto thresholds, errors."""
+
+    def test_auto_thresholds(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert get_backend(NUMPY_MIN_NODES - 1) is PYTHON_BACKEND
+        large = get_backend(NUMPY_MIN_NODES)
+        if numpy_available():
+            assert large.name == "numpy"
+        else:
+            assert large is PYTHON_BACKEND
+
+    def test_explicit_python_wins_at_any_size(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "python")
+        assert get_backend(10_000) is PYTHON_BACKEND
+        assert backend_policy() == "python"
+
+    def test_auto_keyword_means_automatic(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "auto")
+        assert get_backend(1) is PYTHON_BACKEND
+        assert backend_policy().startswith("auto(")
+
+    def test_unknown_backend_did_you_mean(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "pythn")
+        with pytest.raises(UnknownPluginError, match="did you mean 'python'"):
+            get_backend(5)
+
+    def test_explicit_numpy_without_numpy_raises(self, monkeypatch):
+        import repro.graphs.bitset_backends as backends_module
+
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        monkeypatch.setattr(backends_module, "NUMPY_BACKEND", None)
+        with pytest.raises(ExperimentError, match=r"repro\[fast\]"):
+            get_backend(48)
+
+    def test_temporarily_registered_backend_resolves(self, monkeypatch):
+        class StubBackend(BitsetBackend):
+            name = "stub"
+
+        stub = StubBackend()
+        monkeypatch.setenv(ENV_VAR, "stub")
+        with BITSET_BACKENDS.temporarily("stub", stub):
+            assert get_backend(3) is stub
+            assert backend_policy() == "stub"
+
+    def test_index_set_backend_clears_memos(self):
+        graph = figure_1a()
+        index = BitsetIndex(graph)
+        before = index.reach_masks(0)
+        index.set_backend("python")
+        assert index.memo_sizes()["reach_exclusions"] == 0
+        assert index.backend is PYTHON_BACKEND
+        assert index.reach_masks(0) == before
+
+
+@needs_numpy
+class TestCrossBackendArtifacts:
+    """The payoff of the backend contract: whole sweep artifacts are
+    byte-identical whichever backend computed them."""
+
+    def _payload_under(self, monkeypatch, backend_name):
+        from repro.runner.artifacts import artifact_payload, dumps_canonical
+        from repro.runner.harness import SweepEngine
+        from repro.runner.scenarios import clear_worker_caches, get_scenario
+
+        monkeypatch.setenv(ENV_VAR, backend_name)
+        clear_worker_caches()
+        try:
+            result = SweepEngine(workers=1).run(get_scenario("definition1").grid(quick=True))
+            # Fixed provenance: the environment block (deliberately) records
+            # the backend policy, so identity is asserted over the computed
+            # content — spec, cells, groups, totals.
+            payload = artifact_payload(
+                result,
+                mode="quick",
+                provenance={"environment": {"pinned": "env"}, "git": None},
+            )
+            return dumps_canonical(payload)
+        finally:
+            clear_worker_caches()
+
+    def test_quick_scenario_artifact_is_byte_identical(self, monkeypatch):
+        python_text = self._payload_under(monkeypatch, "python")
+        numpy_text = self._payload_under(monkeypatch, "numpy")
+        assert python_text == numpy_text

@@ -134,17 +134,37 @@ class TestMessageSetAgainstReference:
         required = _random_paths(rng, universe, 5) + list(reference.by_path)[:3]
         assert fast.is_full_for(required) == reference.is_full_for(required)
 
-    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("seed", range(10))
     def test_mask_f_cover_matches_tuple_f_cover(self, seed):
         rng = random.Random(100 + seed)
         universe = list(range(8))
         codec = PathCodec()
-        for f in (0, 1, 2):
+        for f in (0, 1, 2, 3):
             paths = _random_paths(rng, universe, rng.randint(0, 8))
             forbidden = set(rng.sample(universe, rng.randint(0, 3)))
             forbidden_mask = codec.mask_of(forbidden, only_known=False)
             masks = [codec.member_mask(p) & ~forbidden_mask for p in paths]
             expected = find_f_cover(paths, f, forbidden=forbidden) is not None
+            assert has_f_cover_masks(masks, f) == expected
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mask_f_cover_with_heavy_domination(self, seed):
+        # Adversarial inputs for the dominated-coverage pruning: duplicated
+        # paths (equal coverages) and sub-paths (strict coverage subsets)
+        # must not change the verdict relative to the tuple-level oracle.
+        rng = random.Random(900 + seed)
+        universe = list(range(8))
+        codec = PathCodec()
+        for f in (1, 2, 3):
+            base = _random_paths(rng, universe, rng.randint(1, 5))
+            paths = list(base)
+            for path in base:
+                paths.append(path)  # duplicate: equal coverage columns
+                if len(path) > 1:
+                    paths.append(path[: rng.randint(1, len(path) - 1)])
+            rng.shuffle(paths)
+            masks = [codec.member_mask(p) for p in paths]
+            expected = find_f_cover(paths, f) is not None
             assert has_f_cover_masks(masks, f) == expected
 
 

@@ -485,7 +485,7 @@ class TestArtifactIdentity:
         report = compare(baseline, load_artifact(path))
         assert report.ok, report.describe()
 
-    def test_all_nine_quick_artifacts_compare_clean(self, tmp_path):
+    def test_every_quick_artifact_compares_clean(self, tmp_path):
         engine = SweepEngine(workers=1)
         for name in scenario_names():
             result = engine.run(get_scenario(name).grid(quick=True))
