@@ -50,6 +50,18 @@ and the baseline drivers, plus :func:`quick_consensus` for one-liners.
 **Artifacts** — :func:`write_artifact` / :func:`load_artifact` /
 :func:`compare` for the canonical JSON documents CI gates on; journaled
 sessions *derive* the same bytes from their journal.
+
+**The sweep fabric** (distributed execution over a shared directory) —
+:class:`FabricCoordinator` publishes cell-range leases over a run
+directory, merges per-worker shards into the canonical journal with epoch
+fencing, and seals it; :class:`FabricWorker` is the lease-claiming
+executor (the ``fabric worker`` CLI wraps it, and third-party workers can
+implement the documented wire format in ``docs/fabric-protocol.md``
+instead).  :func:`fabric_status` snapshots a live run::
+
+    coordinator = FabricCoordinator(spec, run_dir="/nfs/sweeps/table2.full",
+                                    config=FabricConfig(workers=0))
+    coordinator.run()          # workers join from any host sharing the dir
 """
 
 from __future__ import annotations
@@ -86,6 +98,14 @@ from repro.runner.artifacts import (
     load_artifact,
     write_artifact,
 )
+from repro.runner.fabric import (
+    FabricConfig,
+    FabricCoordinator,
+    FabricError,
+    FabricReport,
+    FabricWorker,
+    fabric_status,
+)
 from repro.runner.experiment import (
     run_bw_experiment,
     run_clique_experiment,
@@ -110,8 +130,10 @@ from repro.runner.journal import (
     journal_from_artifact,
     journal_path,
     load_journal,
+    tail_records,
 )
-from repro.runner.reporting import SessionProgress
+from repro.runner.leases import Lease, LeaseError, read_lease, replay_fence_log
+from repro.runner.reporting import SessionProgress, render_fabric_status
 from repro.runner.scenario_files import (
     Scenario,
     dump_scenario_toml,
@@ -211,6 +233,19 @@ __all__ = [
     "journal_from_artifact",
     "journal_path",
     "load_journal",
+    "tail_records",
+    # the sweep fabric (api v2; wire format in docs/fabric-protocol.md)
+    "FabricConfig",
+    "FabricCoordinator",
+    "FabricError",
+    "FabricReport",
+    "FabricWorker",
+    "Lease",
+    "LeaseError",
+    "fabric_status",
+    "read_lease",
+    "render_fabric_status",
+    "replay_fence_log",
     # scenarios
     "SCENARIOS",
     "Scenario",

@@ -59,6 +59,32 @@ byte-identical to the uninterrupted run.  ``StopPolicy`` plugins
 (:data:`~repro.registry.STOP_POLICIES`: ``max-cells`` / ``max-wall-time``
 / ``group-converged``) watch the event stream and seal a run early.
 
+**The sweep fabric (multi-host).**  ``run --fabric N`` executes a grid
+through the coordinator/worker lease protocol in
+:mod:`repro.runner.fabric`: N worker processes lease contiguous cell
+ranges (atomic-rename lease files, mtime heartbeats, epoch fencing),
+append results to per-worker shards, and the coordinator merges the
+shards into the canonical journal in strict index order — so ``fold()``
+of a fabric journal is byte-identical to the serial run.  The protocol is
+pure shared-directory filesystem state, so extra machines join the same
+run with ``fabric worker --run-dir /nfs/dir`` (``--fabric 0`` starts a
+coordinator with no local pool); ``fabric status --run-dir`` inspects a
+live run.  The wire format is specified in ``docs/fabric-protocol.md``.
+
+**Run-directory layout.**  A journaled (``--journal``) run directory
+contains just ``journal.jsonl``.  A fabric run directory adds, next to
+the same canonical journal:
+
+- ``fabric.json`` — the run manifest (spec hash, lease TTL, cadences);
+  its mtime is the coordinator's liveness heartbeat
+- ``leases/`` — ``<start>-<end>.lease`` (available) /
+  ``<start>-<end>.owned.<worker-id>`` (claimed) work ranges, plus the
+  append-only ``fence.log`` of epoch bumps
+- ``shards/<worker-id>.jsonl`` — each worker's append-only result shard
+- ``workers/<worker-id>.json`` — observability-only worker status
+- ``stop.json`` — the stop sentinel the coordinator writes on
+  completion, policy stop or interruption; workers exit when they see it
+
 **CLI exit codes** (``python -m repro.runner``, implemented in
 :mod:`repro.runner.cli`):
 
@@ -71,6 +97,10 @@ code  meaning
 2     usage / configuration error (any :class:`~repro.exceptions.ReproError`)
 3     a ``--journal`` run was interrupted (e.g. SIGINT); completed cells
       are durable and the printed ``run --resume RUN_DIR`` continues it
+      (for fabric runs: ``run --resume RUN_DIR --fabric N``)
+4     a ``fabric worker`` aborted because the coordinator's manifest
+      heartbeat went stale for ``orphan_grace`` seconds; its shard is
+      intact and the worker may simply be restarted
 ====  ==============================================================
 ``epsilon`` / ``input_low`` / ``input_high`` / ``inputs`` / ``path_policy`` / ``rounds``
     Shared execution parameters: the agreement parameter, the known input
@@ -116,6 +146,13 @@ from repro.runner.experiment import (
     run_iterative_experiment,
     run_local_average_experiment,
 )
+from repro.runner.fabric import (
+    FabricConfig,
+    FabricCoordinator,
+    FabricReport,
+    FabricWorker,
+    fabric_status,
+)
 from repro.runner.harness import (
     CellResult,
     GridSpec,
@@ -139,7 +176,9 @@ from repro.runner.journal import (
     journal_from_artifact,
     journal_path,
     load_journal,
+    tail_records,
 )
+from repro.runner.leases import Lease, read_lease, replay_fence_log
 from repro.runner.metrics import (
     ConsensusOutcome,
     aggregate_success_rate,
@@ -153,6 +192,7 @@ from repro.runner.reporting import (
     format_check,
     format_table,
     print_table,
+    render_fabric_status,
     render_sweep_groups,
     sweep_group_rows,
 )
@@ -165,6 +205,7 @@ from repro.runner.session import (
     RunStarted,
     SessionEvent,
     StopPolicy,
+    expected_group_count,
     make_stop_policy,
     run_session,
 )
@@ -176,6 +217,7 @@ from repro.runner.scenario_files import (
 )
 from repro.runner.scenarios import SCENARIOS, get_scenario, run_cell, scenario_names
 from repro.runner.worker_cache import (
+    cache_snapshot,
     cached_graph,
     cached_topology_knowledge,
     clear_worker_caches,
@@ -187,11 +229,23 @@ __all__ = [
     "dump_scenario_toml",
     "load_scenario_file",
     "load_scenario_text",
+    "cache_snapshot",
     "cached_graph",
     "cached_topology_knowledge",
     "clear_worker_caches",
     "warm_worker_caches",
     "worker_cache_stats",
+    "FabricConfig",
+    "FabricCoordinator",
+    "FabricReport",
+    "FabricWorker",
+    "Lease",
+    "expected_group_count",
+    "fabric_status",
+    "read_lease",
+    "render_fabric_status",
+    "replay_fence_log",
+    "tail_records",
     "DEFAULT_MAX_EVENTS",
     "run_bw_experiment",
     "run_clique_experiment",

@@ -1,6 +1,6 @@
 """``python -m repro.runner`` — the sweep orchestration command line.
 
-Four subcommands drive the whole experiment surface:
+Five subcommands drive the whole experiment surface:
 
 ``list``
     Show every registered scenario with its grid sizes, paper artefact and
@@ -27,10 +27,18 @@ Four subcommands drive the whole experiment surface:
     cProfile one scenario run with a per-phase wall-clock breakdown
     (expansion / topology precomputation / cell execution) — the entry
     point for hot-path investigations.
+``fabric``
+    The multi-host sweep fabric's worker-side entry points:
+    ``fabric worker --run-dir DIR`` joins a coordinated run as a leasing
+    worker (the same protocol ``run --fabric N`` uses for its local pool,
+    so pointing several machines at one NFS run dir just works) and
+    ``fabric status --run-dir DIR`` prints a read-only snapshot of the
+    leases, shards and workers.  Wire format: ``docs/fabric-protocol.md``.
 
 Exit codes (documented in :mod:`repro.runner`): 0 success — including runs
 sealed early by a stop policy; 1 ``compare`` drift; 2 usage/configuration
-errors; 3 a journaled run was interrupted and is resumable.
+errors; 3 a journaled run was interrupted and is resumable; 4 a fabric
+worker aborted because the coordinator's heartbeat went stale.
 
 Examples
 --------
@@ -41,6 +49,9 @@ Examples
     python -m repro.runner run --scenario table2 --journal --progress
     python -m repro.runner run --resume benchmarks/results/runs/table2.full
     python -m repro.runner run --scenario necessity --stop-policy max-cells:100
+    python -m repro.runner run --scenario figure1b --fabric 3 --progress
+    python -m repro.runner fabric worker --run-dir /nfs/sweeps/figure1b.full
+    python -m repro.runner fabric status --run-dir /nfs/sweeps/figure1b.full
     python -m repro.runner compare benchmarks/baselines/figure1b.quick.json \\
         benchmarks/results/figure1b.quick.json
     python -m repro.runner profile --scenario definition1 --quick --top 15
@@ -50,8 +61,10 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import dataclasses
 import importlib
 import io
+import json
 import os
 import pathlib
 import pstats
@@ -64,8 +77,15 @@ from repro.exceptions import ReproError
 from repro.graphs.bitset_backends import backend_policy
 from repro.registry import ALL_REGISTRIES
 from repro.runner.artifacts import compare_files
+from repro.runner.fabric import (
+    EXIT_ORPHANED,
+    FabricConfig,
+    FabricCoordinator,
+    FabricWorker,
+    fabric_status,
+)
 from repro.runner.harness import NOT_APPLICABLE, GridSpec, SweepEngine
-from repro.runner.reporting import SessionProgress, format_table
+from repro.runner.reporting import SessionProgress, format_table, render_fabric_status
 from repro.runner.scenario_files import Scenario, load_scenario_file
 from repro.runner.scenarios import (
     SCENARIOS,
@@ -92,6 +112,7 @@ EXIT_OK = 0  # success, including runs sealed early by a stop policy
 EXIT_DRIFT = 1  # `compare` found drift against the baseline
 EXIT_ERROR = 2  # usage or configuration error (ReproError)
 EXIT_INTERRUPTED = 3  # journaled run interrupted; resumable via run --resume
+EXIT_FABRIC_ORPHANED = EXIT_ORPHANED  # 4: fabric worker lost its coordinator
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -206,6 +227,94 @@ def _build_parser() -> argparse.ArgumentParser:
         help="bitset computation backend: a registered name (see 'list --plugins') "
         "or 'auto' (default: auto — numpy on large graphs when installed); "
         "exported as REPRO_BITSET_BACKEND so sweep workers inherit it",
+    )
+    run_parser.add_argument(
+        "--fabric",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run through the multi-host sweep fabric with N leased pool workers "
+        "(0 = coordinator only; external workers join with 'fabric worker "
+        "--run-dir'); always journaled, resumable with 'run --resume DIR "
+        "--fabric N' — see docs/fabric-protocol.md",
+    )
+    run_parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fabric lease expiry: a worker that misses heartbeats this long is "
+        "fenced and its unfinished range re-leased (default: 30; must exceed "
+        "the slowest single cell)",
+    )
+    run_parser.add_argument(
+        "--worker-throttle",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="artificial per-cell delay in fabric workers (straggler/crash-window "
+        "simulation for fault-injection tests; default: 0)",
+    )
+
+    fabric_parser = commands.add_parser(
+        "fabric", help="multi-host sweep fabric: join as a worker, or inspect a run"
+    )
+    fabric_commands = fabric_parser.add_subparsers(dest="fabric_command", required=True)
+    worker_parser = fabric_commands.add_parser(
+        "worker",
+        help="join a fabric run directory as a leasing worker (multi-host: any "
+        "machine sharing the directory, e.g. over NFS)",
+    )
+    worker_parser.add_argument(
+        "--run-dir",
+        type=pathlib.Path,
+        required=True,
+        metavar="DIR",
+        help="the fabric run directory published by 'run --fabric'",
+    )
+    worker_parser.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="ID",
+        help="filename-safe worker identity; also names the result shard "
+        "shards/<ID>.jsonl (default: w<pid>)",
+    )
+    worker_parser.add_argument(
+        "--throttle",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="override the manifest's per-cell throttle for this worker",
+    )
+    worker_parser.add_argument(
+        "--plugins",
+        action="append",
+        default=None,
+        metavar="MODULE",
+        help="import MODULE before joining (in addition to the plugin modules "
+        "recorded in the fabric manifest)",
+    )
+    worker_parser.add_argument(
+        "--bitset-backend",
+        default=None,
+        metavar="NAME",
+        help="bitset computation backend for this worker (a registered name or "
+        "'auto'; exported as REPRO_BITSET_BACKEND)",
+    )
+    status_parser = fabric_commands.add_parser(
+        "status", help="print a read-only snapshot of a fabric run directory"
+    )
+    status_parser.add_argument(
+        "--run-dir",
+        type=pathlib.Path,
+        required=True,
+        metavar="DIR",
+        help="the fabric run directory to inspect",
+    )
+    status_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw snapshot as JSON instead of the human-readable view",
     )
 
     compare_parser = commands.add_parser(
@@ -426,6 +535,77 @@ def _drive_session(
     return EXIT_OK
 
 
+def _fabric_config(args: argparse.Namespace) -> FabricConfig:
+    config = FabricConfig(workers=args.fabric, plugins=tuple(args.plugins or ()))
+    if args.lease_ttl is not None:
+        config = dataclasses.replace(config, lease_ttl=args.lease_ttl)
+    if args.worker_throttle is not None:
+        config = dataclasses.replace(config, worker_throttle=args.worker_throttle)
+    return config
+
+
+def _drive_fabric(
+    args: argparse.Namespace,
+    coordinator: FabricCoordinator,
+    path: pathlib.Path,
+) -> int:
+    """Drive one fabric coordinator to its seal: progress, artifact, summary."""
+    progress = SessionProgress()
+
+    def observe(event) -> None:
+        progress.observe(event)
+        if args.progress and isinstance(event, (RunStarted, CellCompleted, RunFinished)):
+            print(f"\r{progress.render_line()}", end="", flush=True)
+
+    try:
+        coordinator.run(observer=observe)
+    except KeyboardInterrupt:
+        if args.progress:
+            print()
+        print(
+            f"interrupted after {progress.completed} merged cell(s); durable work is "
+            f"journaled in {coordinator.run_dir}"
+        )
+        print(
+            f"resume with: python -m repro.runner run --resume {coordinator.run_dir} "
+            f"--fabric {coordinator.config.workers}"
+        )
+        return EXIT_INTERRUPTED
+    if args.progress:
+        print()
+    payload = coordinator.write_artifact(path)
+    if not args.no_table:
+        print(progress.render_summary())
+    finished = coordinator.finished
+    assert finished is not None  # run() only returns after the seal
+    if finished.reason != "completed":
+        policy = finished.reason.partition(":")[2]
+        print(
+            f"{finished.scenario}: sealed early by stop policy {policy!r} "
+            f"({finished.detail}) — partial artifact covers "
+            f"{finished.completed}/{finished.total} cells"
+        )
+    report = coordinator.report
+    fabric_notes = [f"merged={report.merged}", f"leases={report.leases_created}"]
+    if report.fenced:
+        fabric_notes.append(f"fenced={report.fenced}")
+    if report.splits:
+        fabric_notes.append(f"splits={report.splits}")
+    if report.rejected_stale:
+        fabric_notes.append(f"stale-rejected={report.rejected_stale}")
+    if report.duplicates:
+        fabric_notes.append(f"duplicates={report.duplicates}")
+    wall = finished.wall_seconds
+    rate = finished.completed / wall if wall else float("inf")
+    print(
+        f"{finished.scenario}: {payload['totals']['cells']} cells in "
+        f"{wall:.2f}s ({rate:.1f} cells/s, fabric workers={coordinator.config.workers}, "
+        f"{' '.join(fabric_notes)}) -> {path} "
+        f"(journal: {coordinator.run_dir / 'journal.jsonl'})"
+    )
+    return EXIT_OK
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     for module in args.plugins or ():
         try:
@@ -435,12 +615,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # After plugin imports so a plugin-registered backend is a valid name.
     _apply_bitset_backend(args.bitset_backend)
     policies = tuple(args.stop_policy or ())
+    if args.fabric is not None:
+        if args.fabric < 0:
+            raise ReproError("--fabric N needs N >= 0 (0 = coordinator only)")
+        if args.workers != 1:
+            raise ReproError(
+                "--fabric supersedes pool sharding; drop --workers (fabric workers "
+                "are separate leasing processes)"
+            )
+        if args.chunk_size is not None:
+            raise ReproError(
+                "--chunk-size does not apply to --fabric (lease granularity is "
+                "derived from the worker count; see docs/fabric-protocol.md)"
+            )
+    elif args.lease_ttl is not None or args.worker_throttle is not None:
+        raise ReproError("--lease-ttl/--worker-throttle only apply with --fabric N")
     if args.resume is not None:
         if args.scenario or args.scenario_file or args.journal or args.run_dir:
             raise ReproError(
                 "--resume reads the grid from the journal header; drop "
                 "--scenario/--scenario-file/--journal/--run-dir"
             )
+        if args.fabric is not None:
+            coordinator = FabricCoordinator.resume(
+                args.resume, config=_fabric_config(args), stop_policies=policies
+            )
+            path = _artifact_path(args.output, 1, coordinator.spec.name, coordinator.mode)
+            return _drive_fabric(args, coordinator, path)
         session = ExperimentSession.resume(
             args.resume,
             workers=args.workers,
@@ -451,6 +652,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return _drive_session(args, session, path)
     mode = "quick" if args.quick else "full"
     scenarios = _selected_scenarios(args)
+    if args.fabric is not None:
+        if len(scenarios) > 1:
+            raise ReproError(
+                "--fabric drives one scenario per run directory; pass a single "
+                "--scenario/--scenario-file"
+            )
+        scenario = scenarios[0]
+        coordinator = FabricCoordinator(
+            scenario.grid(quick=args.quick),
+            run_dir=_run_dir_for(args, 1, scenario.name, mode),
+            mode=mode,
+            config=_fabric_config(args),
+            stop_policies=policies,
+        )
+        path = _artifact_path(args.output, 1, scenario.name, mode)
+        return _drive_fabric(args, coordinator, path)
     planned: List[Tuple[ExperimentSession, pathlib.Path]] = []
     for scenario in scenarios:
         run_dir = None
@@ -470,6 +687,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if code != EXIT_OK:
             return code
     return EXIT_OK
+
+
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    if args.fabric_command == "worker":
+        for module in args.plugins or ():
+            try:
+                importlib.import_module(module)
+            except ImportError as error:
+                raise ReproError(
+                    f"cannot import plugin module {module!r}: {error}"
+                ) from None
+        _apply_bitset_backend(args.bitset_backend)
+        worker_id = args.worker_id if args.worker_id is not None else f"w{os.getpid()}"
+        worker = FabricWorker(args.run_dir, worker_id, throttle=args.throttle)
+        try:
+            return worker.run()
+        except KeyboardInterrupt:
+            return EXIT_INTERRUPTED
+    if args.fabric_command == "status":
+        snapshot = fabric_status(args.run_dir)
+        if args.json:
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        else:
+            print(render_fabric_status(snapshot))
+        return EXIT_OK
+    raise AssertionError(f"unhandled fabric command {args.fabric_command!r}")
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -569,6 +812,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "profile":
             return _cmd_profile(args)
+        if args.command == "fabric":
+            return _cmd_fabric(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR
@@ -578,6 +823,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 __all__ = [
     "EXIT_DRIFT",
     "EXIT_ERROR",
+    "EXIT_FABRIC_ORPHANED",
     "EXIT_INTERRUPTED",
     "EXIT_OK",
     "main",

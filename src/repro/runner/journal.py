@@ -430,6 +430,50 @@ class JournalWriter:
         self.close()
 
 
+def tail_records(path: PathLike, offset: int = 0) -> "tuple[List[Dict[str, object]], int]":
+    """Incrementally read complete JSONL records from ``path`` past ``offset``.
+
+    The polling-reader counterpart of the tail-truncation rule: returns the
+    parsed records whose terminating newline is already on disk, plus the
+    byte offset just past the last complete record — pass it back on the
+    next call to stream a file another process is still appending to (the
+    fabric coordinator does this against worker shards).  An unterminated
+    final line is left for a later call; a *terminated* line that fails to
+    parse raises :class:`~repro.exceptions.JournalError` (torn appends
+    never gain a newline, so terminated garbage is real corruption).
+    A missing file reads as empty — the writer may not have started yet.
+    """
+    path = pathlib.Path(path)
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            raw = handle.read()
+    except FileNotFoundError:
+        return [], offset
+    records: List[Dict[str, object]] = []
+    cursor = 0
+    while cursor < len(raw):
+        newline = raw.find(b"\n", cursor)
+        if newline == -1:
+            break  # unterminated tail: not yet a record
+        line = raw[cursor:newline]
+        cursor = newline + 1
+        if not line:
+            continue
+        try:
+            record = json.loads(line.decode("utf-8", errors="strict"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            raise JournalError(
+                f"shard {path}: corrupt terminated record at byte {offset + newline}"
+            ) from None
+        if not isinstance(record, dict) or "record" not in record:
+            raise JournalError(
+                f"shard {path}: not a journal record at byte {offset + newline}"
+            )
+        records.append(record)
+    return records, offset + cursor
+
+
 def journal_from_artifact(run_dir: PathLike, payload: Mapping[str, object]) -> Journal:
     """Materialize a journal equivalent to an existing artifact payload.
 
@@ -463,4 +507,5 @@ __all__ = [
     "journal_path",
     "load_journal",
     "spec_digest",
+    "tail_records",
 ]

@@ -183,3 +183,73 @@ class SessionProgress:
         """The standard group table, derived purely from observed events."""
         title = f"{self.scenario or '?'} ({self.mode or '?'} grid)"
         return render_sweep_groups(title, self.groups)
+
+
+# ----------------------------------------------------------------------
+# fabric status (the `fabric status --run-dir` view)
+# ----------------------------------------------------------------------
+def _age_text(age: Optional[float]) -> str:
+    return "-" if age is None else f"{age:.1f}s"
+
+
+def render_fabric_status(snapshot: Dict) -> str:
+    """Render a :func:`repro.runner.fabric.fabric_status` snapshot for humans.
+
+    Pure formatting over the snapshot dict — never touches the run
+    directory itself, so it is safe to call from any host at any time.
+    """
+    lines: List[str] = []
+    journal = snapshot.get("journal") or {}
+    manifest = snapshot.get("manifest") or {}
+    stop = snapshot.get("stop")
+    scenario = journal.get("scenario", "?")
+    merged = journal.get("cells", 0)
+    total = journal.get("total", 0)
+    state = "running"
+    if journal.get("sealed"):
+        state = f"sealed ({journal.get('seal_reason')})"
+    elif stop is not None:
+        state = f"stopping ({stop.get('reason')})"
+    lines.append(banner(f"fabric {snapshot.get('run_dir', '?')}"))
+    lines.append(
+        f"{scenario} ({journal.get('mode', '?')} grid): {merged}/{total} cells merged, "
+        f"{state}; coordinator heartbeat {_age_text(snapshot.get('coordinator_age'))} ago "
+        f"(lease ttl {manifest.get('lease_ttl', '?')}s)"
+    )
+    leases = snapshot.get("leases") or []
+    if leases:
+        rows = [
+            [
+                entry.get("range", "?"),
+                str(entry.get("epoch", "?")),
+                entry.get("state", "?"),
+                entry.get("owner") or "-",
+                _age_text(entry.get("age")),
+            ]
+            for entry in leases
+        ]
+        lines.append(format_table(["lease", "epoch", "state", "owner", "heartbeat"], rows))
+    else:
+        lines.append("no outstanding leases")
+    shards = snapshot.get("shards") or {}
+    workers = snapshot.get("workers") or {}
+    if shards or workers:
+        rows = []
+        for worker_id in sorted(set(shards) | set(workers)):
+            shard = shards.get(worker_id) or {}
+            status = workers.get(worker_id) or {}
+            rows.append(
+                [
+                    worker_id,
+                    status.get("state", "?"),
+                    str(shard.get("cells", 0)),
+                    status.get("lease") or "-",
+                    _age_text(status.get("age")),
+                ]
+            )
+        lines.append(format_table(["worker", "state", "shard cells", "lease", "seen"], rows))
+    lines.append(
+        f"fenced indexes: {snapshot.get('fenced_indexes', 0)} "
+        f"(max epoch {snapshot.get('max_epoch', 0)})"
+    )
+    return "\n".join(lines) + "\n"

@@ -75,6 +75,19 @@ PathLike = Union[str, pathlib.Path]
 DEFAULT_CHECKPOINT_INTERVAL = 16
 
 
+def expected_group_count(spec: GridSpec, total: Optional[int] = None) -> int:
+    """Number of aggregation groups a full run of ``spec`` produces.
+
+    Groups collapse the seed axis, so the count is the grid size divided by
+    the seed count (0 for an empty grid).  Pass ``total`` when the expanded
+    cell count is already known, to avoid re-expanding the grid; sessions
+    and the fabric coordinator both size their progress views with this.
+    """
+    if total is None:
+        total = len(spec.expand())
+    return max(1, total // max(1, len(spec.seeds))) if total else 0
+
+
 # ----------------------------------------------------------------------
 # the typed event stream
 # ----------------------------------------------------------------------
@@ -505,7 +518,7 @@ class ExperimentSession:
         spec = self.spec
         all_cells = spec.expand()
         total = len(all_cells)
-        expected_groups = max(1, total // max(1, len(spec.seeds))) if total else 0
+        expected_groups = expected_group_count(spec, total=total)
         replayed: List[CellResult] = []
         if self._resumed_journal is not None:
             replayed = sorted(self._resumed_journal.cells, key=lambda cell: cell.index)
@@ -639,6 +652,7 @@ __all__ = [
     "RunStarted",
     "SessionEvent",
     "StopPolicy",
+    "expected_group_count",
     "make_stop_policy",
     "run_session",
 ]

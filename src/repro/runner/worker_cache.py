@@ -128,6 +128,16 @@ def bitset_cache_stats() -> Dict[str, int]:
     return stats
 
 
+def cache_snapshot() -> Dict[str, Dict[str, int]]:
+    """Combined topology + bitset cache stats, as one JSON-ready object.
+
+    The shape fabric workers embed in their ``workers/<id>.json`` status
+    files, so ``fabric status`` can show how warm each worker's caches are
+    without attaching to the process.
+    """
+    return {"worker": worker_cache_stats(), "bitset": bitset_cache_stats()}
+
+
 def clear_worker_caches() -> None:
     """Drop the process-global topology caches (tests / cold-start benches)."""
     _GRAPH_CACHE.clear()
@@ -137,6 +147,7 @@ def clear_worker_caches() -> None:
 __all__ = [
     "WORKER_CACHE_LIMIT",
     "bitset_cache_stats",
+    "cache_snapshot",
     "cached_graph",
     "cached_topology_knowledge",
     "clear_worker_caches",
