@@ -10,7 +10,7 @@ resumable :class:`ExperimentSession`\\ s; every v1 name remains importable
 
 The surface has five layers:
 
-**Registries** (:class:`Registry` and the six instances) — register custom
+**Registries** (:class:`Registry` and the seven instances) — register custom
 topology families, Byzantine behaviours, fault placements, algorithms,
 delay models and session stop policies by name; grids and scenario TOML
 files then reference them like the built-ins::
@@ -82,6 +82,7 @@ from repro.registry import (
     ALL_REGISTRIES,
     BEHAVIORS,
     DELAYS,
+    FAULTS,
     PLACEMENTS,
     STOP_POLICIES,
     TOPOLOGIES,
@@ -191,6 +192,7 @@ __all__ = [
     "ALL_REGISTRIES",
     "BEHAVIORS",
     "DELAYS",
+    "FAULTS",
     "PLACEMENTS",
     "STOP_POLICIES",
     "TOPOLOGIES",

@@ -12,10 +12,25 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Any, Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.exceptions import ExperimentError
 
 NodeId = Any
 EdgeKey = Tuple[NodeId, NodeId]
+
+
+def _check_edges_exist(graph: Any, edges: Iterable[EdgeKey], owner: str) -> None:
+    """Raise :class:`ExperimentError` naming every edge absent from ``graph``."""
+    unknown: List[EdgeKey] = [
+        edge for edge in sorted(edges, key=repr) if not graph.has_edge(edge[0], edge[1])
+    ]
+    if unknown:
+        rendered = ", ".join(f"{sender!r}->{receiver!r}" for sender, receiver in unknown)
+        raise ExperimentError(
+            f"{owner} references link(s) not in the graph: {rendered} "
+            f"(check for typos in the edge keys)"
+        )
 
 
 class DelayModel(ABC):
@@ -24,6 +39,16 @@ class DelayModel(ABC):
     @abstractmethod
     def delay(self, sender: NodeId, receiver: NodeId, payload: Any, time: float, rng: random.Random) -> float:
         """Latency (strictly positive) for a payload sent on ``(sender, receiver)`` at ``time``."""
+
+    def validate(self, graph: Any) -> None:
+        """Check the model's configuration against the communication graph.
+
+        The simulator calls this at construction so misconfigured models
+        (e.g. a typo'd edge key) fail fast with an
+        :class:`~repro.exceptions.ExperimentError` instead of silently
+        falling back to a default.  The base implementation accepts any
+        graph.
+        """
 
     def describe(self) -> str:
         """Short human-readable description used in experiment reports."""
@@ -78,15 +103,37 @@ class ExponentialDelay(DelayModel):
 
 
 class PerLinkDelay(DelayModel):
-    """Different delay models per directed edge, with a default fallback."""
+    """Different delay models per directed edge, with a default fallback.
 
-    def __init__(self, default: DelayModel, overrides: Optional[Dict[EdgeKey, DelayModel]] = None) -> None:
+    Passing ``graph`` checks the override keys immediately; the simulator
+    re-validates against its own graph either way, so a typo'd edge key
+    raises an :class:`~repro.exceptions.ExperimentError` instead of the
+    override silently never matching.
+    """
+
+    def __init__(
+        self,
+        default: DelayModel,
+        overrides: Optional[Dict[EdgeKey, DelayModel]] = None,
+        graph: Optional[Any] = None,
+    ) -> None:
         self.default = default
         self.overrides: Dict[EdgeKey, DelayModel] = dict(overrides or {})
+        self._graph = graph
+        if graph is not None:
+            self.validate(graph)
 
     def set_link(self, sender: NodeId, receiver: NodeId, model: DelayModel) -> None:
         """Override the delay model of one directed link."""
+        if self._graph is not None and not self._graph.has_edge(sender, receiver):
+            raise ExperimentError(
+                f"PerLinkDelay references link(s) not in the graph: {sender!r}->{receiver!r} "
+                f"(check for typos in the edge keys)"
+            )
         self.overrides[(sender, receiver)] = model
+
+    def validate(self, graph: Any) -> None:
+        _check_edges_exist(graph, self.overrides, "PerLinkDelay")
 
     def delay(self, sender, receiver, payload, time, rng) -> float:
         model = self.overrides.get((sender, receiver), self.default)
@@ -110,12 +157,18 @@ class TargetedDelay(DelayModel):
         slow_edges: Iterable[EdgeKey],
         release_time: float,
         fast_model: Optional[DelayModel] = None,
+        graph: Optional[Any] = None,
     ) -> None:
         self.slow_edges: FrozenSet[EdgeKey] = frozenset(slow_edges)
         if release_time <= 0:
             raise ValueError("release_time must be positive")
         self.release_time = release_time
         self.fast_model = fast_model or ConstantDelay(0.1)
+        if graph is not None:
+            self.validate(graph)
+
+    def validate(self, graph: Any) -> None:
+        _check_edges_exist(graph, self.slow_edges, "TargetedDelay")
 
     def delay(self, sender, receiver, payload, time, rng) -> float:
         if (sender, receiver) in self.slow_edges:
@@ -149,6 +202,54 @@ class JitteredPerReceiverDelay(DelayModel):
 
     def describe(self) -> str:
         return f"jittered(base={self.base}, spread={self.spread})"
+
+
+class CongestionDelay(DelayModel):
+    """Queueing delay that grows with the link's in-flight message count.
+
+    Latency is the usual uniform base draw plus ``slope`` per message
+    already in flight on the directed link, capped at ``cap`` — the
+    router-buffer model where a loaded queue stretches every transit.  The
+    simulator notices ``needs_link_load`` and binds a probe returning the
+    current in-flight count; unbound (e.g. unit tests calling
+    :meth:`delay` directly) the model degrades to its base distribution.
+
+    With ``slope=0`` the model consumes exactly one uniform draw per send —
+    the same RNG stream as :class:`UniformDelay` — so a zero-intensity
+    congestion schedule is byte-identical to the experiment default.
+    """
+
+    #: The simulator tracks per-link in-flight counts only when the delay
+    #: model asks for them (this attribute), keeping the default send path
+    #: free of bookkeeping.
+    needs_link_load = True
+
+    def __init__(
+        self, low: float = 0.5, high: float = 2.0, slope: float = 0.05, cap: float = 4.0
+    ) -> None:
+        if low <= 0 or high < low:
+            raise ValueError("need 0 < low <= high")
+        if slope < 0 or cap < 0:
+            raise ValueError("slope and cap must be non-negative")
+        self.low = low
+        self.high = high
+        self.slope = slope
+        self.cap = cap
+        self._load_probe: Optional[Callable[[NodeId, NodeId], int]] = None
+
+    def bind_load_probe(self, probe: Callable[[NodeId, NodeId], int]) -> None:
+        """Attach the simulator's in-flight-count probe for ``(sender, receiver)``."""
+        self._load_probe = probe
+
+    def delay(self, sender, receiver, payload, time, rng) -> float:
+        base = rng.uniform(self.low, self.high)
+        if self.slope == 0.0 or self._load_probe is None:
+            return base
+        load = self._load_probe(sender, receiver)
+        return base + min(self.cap, self.slope * load)
+
+    def describe(self) -> str:
+        return f"congestion(base=[{self.low}, {self.high}], slope={self.slope}, cap={self.cap})"
 
 
 # ----------------------------------------------------------------------
@@ -198,6 +299,12 @@ def _register_delays() -> None:
         lambda base=0.5, spread=1.5: JitteredPerReceiverDelay(base, spread),
         "deterministic per-receiver pace (no randomness)",
         params=("base", "spread"),
+    )
+    entry(
+        "congestion",
+        lambda low=0.5, high=2.0, slope=0.05, cap=4.0: CongestionDelay(low, high, slope, cap),
+        "uniform base plus `slope` per in-flight message on the link, capped at `cap`",
+        params=("low", "high", "slope", "cap"),
     )
 
 

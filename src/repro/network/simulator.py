@@ -26,6 +26,19 @@ dataclass construction and rich-comparison call per event.  Node ids are
 interned to dense integers at construction; per-link statistics and FIFO
 bookkeeping are keyed on one packed ``sender_index * n + receiver_index``
 int instead of a tuple of node ids.
+
+Fault injection
+---------------
+An optional :class:`~repro.network.faults.FaultSchedule` compiles into the
+same heap as ``(time, sequence, _CONTROL, action, subject)`` tuples: link
+down/up and node crash/recover windows become control events that toggle
+down-sets consulted on the send and delivery paths, and per-message loss,
+retry/backoff and duplication draw from a private fault RNG that never
+touches the delay RNG.  An **inactive** schedule (zero intensity) leaves
+every hot path untouched — :meth:`Simulator.run` only takes the slower
+fault-aware loop when the schedule can actually perturb the run (or when
+the delay model tracks in-flight counts).  The normative in-flight-message
+semantics live in the :mod:`repro.network.faults` module docstring.
 """
 
 from __future__ import annotations
@@ -38,6 +51,7 @@ from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 from repro.exceptions import SchedulerError, SimulationError
 from repro.graphs.digraph import DiGraph
 from repro.network.delays import ConstantDelay, DelayModel, UniformDelay
+from repro.network.faults import LINK_DOWN, LINK_UP, NODE_DOWN, FaultSchedule
 from repro.network.node import Context, Process
 
 NodeId = Hashable
@@ -45,11 +59,27 @@ NodeId = Hashable
 #: Event-kind tags (index 2 of every queued tuple).
 _MESSAGE = 0
 _TIMER = 1
+_CONTROL = 2
+
+#: Control-event action codes (index 3 of ``_CONTROL`` tuples).
+_ACT_LINK_DOWN = 0
+_ACT_LINK_UP = 1
+_ACT_NODE_DOWN = 2
+_ACT_NODE_UP = 3
+
+#: Hard ceiling on any single retry backoff (capped exponential growth).
+_BACKOFF_CAP = 8.0
 
 
 @dataclass
 class SimulationStats:
-    """Counters produced by a simulation run."""
+    """Counters produced by a simulation run.
+
+    The fault counters stay zero on runs without an active fault schedule.
+    ``sent_messages`` counts network entries: a message deferred in flight
+    and re-entering the link on recovery, or a retransmitted/duplicated
+    copy, counts again.
+    """
 
     delivered_messages: int = 0
     sent_messages: int = 0
@@ -57,6 +87,22 @@ class SimulationStats:
     final_time: float = 0.0
     terminated_early: bool = False
     per_link_messages: Dict[Tuple[NodeId, NodeId], int] = field(default_factory=dict)
+    #: Messages lost to the fault schedule: link-down drops, receiver-down
+    #: deliveries, and sends whose every retry attempt was lost.
+    dropped_messages: int = 0
+    #: Extra copies injected by the duplication fault.
+    duplicated_messages: int = 0
+    #: Messages buffered on a downed link (``on_down="defer"``); copies
+    #: still buffered at quiescence were lost with the link.
+    deferred_messages: int = 0
+    #: Sends suppressed because the sending node was down.
+    suppressed_messages: int = 0
+    #: Timer events discarded because their owner was down.
+    suppressed_timers: int = 0
+    #: Successful-but-retried transmissions (total extra attempts).
+    retransmissions: int = 0
+    #: Fault control events (link/node down/up) processed from the heap.
+    fault_control_events: int = 0
 
     def link_count(self, sender: NodeId, receiver: NodeId) -> int:
         """Messages delivered over a particular directed link."""
@@ -80,6 +126,10 @@ class Simulator:
         When ``True`` deliveries on each directed link preserve send order.
         The paper's protocols implement FIFO at the protocol layer, so the
         default is ``False`` (the harsher model).
+    faults:
+        Optional compiled :class:`~repro.network.faults.FaultSchedule`.  An
+        inactive schedule (zero intensity) is indistinguishable from
+        ``None``: same RNG stream, same event sequence, same stats.
     """
 
     def __init__(
@@ -88,9 +138,11 @@ class Simulator:
         delay_model: Optional[DelayModel] = None,
         seed: Optional[int] = None,
         fifo_links: bool = False,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         self.graph = graph
         self.delay_model = delay_model or ConstantDelay(1.0)
+        self.delay_model.validate(graph)
         self.rng = random.Random(seed)
         if type(self.delay_model) is UniformDelay:
             # Exact fast path for the default experiment model: sampling is
@@ -119,6 +171,22 @@ class Simulator:
         #: packed link key → last delivery time (FIFO-link bookkeeping).
         self._last_delivery_per_link: Dict[int, float] = {}
         self.stats = SimulationStats()
+        # -- fault-injection state (inert unless the schedule is active) --
+        self.faults = faults
+        self._faults_active = faults is not None and faults.active
+        self._down_links: set = set()  # packed link keys currently down
+        self._down_nodes: set = set()  # node indexes currently down
+        #: packed link key → [(receiver_index, sender, payload), ...] held
+        #: while the link is down (``on_down="defer"`` semantics).
+        self._deferred: Dict[int, List[tuple]] = {}
+        self._fault_rng = (
+            random.Random(faults.runtime_seed()) if self._faults_active else None
+        )
+        # -- per-link in-flight tracking (only when the delay model asks) --
+        self._inflight: Dict[int, int] = {}
+        self._track_inflight = bool(getattr(self.delay_model, "needs_link_load", False))
+        if self._track_inflight:
+            self.delay_model.bind_load_probe(self._link_load)
 
     # ------------------------------------------------------------------
     # configuration
@@ -153,6 +221,9 @@ class Simulator:
     # event production
     # ------------------------------------------------------------------
     def _enqueue_message(self, sender: NodeId, receiver: NodeId, payload: Any) -> None:
+        if self._faults_active:
+            self._send_with_faults(sender, receiver, payload)
+            return
         time = self._time
         latency = self._delay(sender, receiver, payload, time, self.rng)
         if latency <= 0:
@@ -170,7 +241,80 @@ class Simulator:
             self._queue,
             (deliver_time, self._sequence, _MESSAGE, link_key, receiver_index, sender, payload),
         )
+        if self._track_inflight:
+            self._inflight[link_key] = self._inflight.get(link_key, 0) + 1
         self.stats.sent_messages += 1
+
+    def _link_load(self, sender: NodeId, receiver: NodeId) -> int:
+        """In-flight message count on a directed link (congestion-delay probe)."""
+        node_index = self._node_index
+        return self._inflight.get(node_index[sender] * self._n + node_index[receiver], 0)
+
+    def _push_message(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        receiver_index: int,
+        link_key: int,
+        payload: Any,
+        extra_delay: float = 0.0,
+    ) -> None:
+        """Enqueue one message copy, drawing its latency at ``now + extra_delay``."""
+        time = self._time + extra_delay
+        latency = self._delay(sender, receiver, payload, time, self.rng)
+        if latency <= 0:
+            raise SchedulerError("delay models must return strictly positive latencies")
+        deliver_time = time + latency
+        if self.fifo_links:
+            previous = self._last_delivery_per_link.get(link_key, 0.0)
+            deliver_time = max(deliver_time, previous + 1e-9)
+            self._last_delivery_per_link[link_key] = deliver_time
+        self._sequence += 1
+        heapq.heappush(
+            self._queue,
+            (deliver_time, self._sequence, _MESSAGE, link_key, receiver_index, sender, payload),
+        )
+        if self._track_inflight:
+            self._inflight[link_key] = self._inflight.get(link_key, 0) + 1
+        self.stats.sent_messages += 1
+
+    def _send_with_faults(self, sender: NodeId, receiver: NodeId, payload: Any) -> None:
+        """The fault-aware send path (see :mod:`repro.network.faults` semantics)."""
+        schedule = self.faults
+        stats = self.stats
+        node_index = self._node_index
+        sender_index = node_index[sender]
+        if sender_index in self._down_nodes:
+            stats.suppressed_messages += 1
+            return
+        receiver_index = node_index[receiver]
+        link_key = sender_index * self._n + receiver_index
+        if link_key in self._down_links:
+            if schedule.on_down == "defer":
+                self._deferred.setdefault(link_key, []).append((receiver_index, sender, payload))
+                stats.deferred_messages += 1
+            else:
+                stats.dropped_messages += 1
+            return
+        extra_delay = 0.0
+        if schedule.drop_probability > 0.0:
+            random_draw = self._fault_rng.random
+            probability = schedule.drop_probability
+            attempt = 0
+            while random_draw() < probability:
+                attempt += 1
+                if attempt > schedule.max_retries:
+                    stats.dropped_messages += 1
+                    return
+                extra_delay += min(schedule.retry_backoff * (2 ** (attempt - 1)), _BACKOFF_CAP)
+            stats.retransmissions += attempt
+        self._push_message(sender, receiver, receiver_index, link_key, payload, extra_delay)
+        if (
+            schedule.duplicate_probability > 0.0
+            and self._fault_rng.random() < schedule.duplicate_probability
+        ):
+            stats.duplicated_messages += 1
+            self._push_message(sender, receiver, receiver_index, link_key, payload, extra_delay)
 
     def _enqueue_timer(self, owner: NodeId, delay: float, tag: Any) -> None:
         self._sequence += 1
@@ -192,12 +336,84 @@ class Simulator:
         return len(self._queue)
 
     def start(self) -> None:
-        """Invoke ``on_start`` on every registered process (idempotent)."""
+        """Invoke ``on_start`` on every registered process (idempotent).
+
+        When a fault schedule is active its link/node windows are compiled
+        into the event heap first (windows open at ``t <= 0`` are applied
+        immediately), so control events interleave deterministically with
+        the messages ``on_start`` produces.
+        """
         if self._started:
             return
         self._started = True
+        if self._faults_active:
+            self._compile_fault_schedule()
         for node_id in sorted(self.processes, key=repr):
             self.processes[node_id].on_start()
+
+    def _compile_fault_schedule(self) -> None:
+        """Push the schedule's control events into the heap as plain tuples."""
+        node_index = self._node_index
+        for time, action, subject in self.faults.control_events():
+            if action in (LINK_DOWN, LINK_UP):
+                sender, receiver = subject
+                sender_index = node_index.get(sender)
+                receiver_index = node_index.get(receiver)
+                if (
+                    sender_index is None
+                    or receiver_index is None
+                    or not self.graph.has_edge(sender, receiver)
+                ):
+                    raise SimulationError(
+                        f"fault schedule references link {sender!r}->{receiver!r}, "
+                        "which is not in the graph"
+                    )
+                code = _ACT_LINK_DOWN if action == LINK_DOWN else _ACT_LINK_UP
+                packed = sender_index * self._n + receiver_index
+            else:
+                index = node_index.get(subject)
+                if index is None:
+                    raise SimulationError(f"fault schedule references unknown node {subject!r}")
+                code = _ACT_NODE_DOWN if action == NODE_DOWN else _ACT_NODE_UP
+                packed = index
+            if time <= 0.0:
+                self.stats.fault_control_events += 1
+                self._apply_control(code, packed)
+            else:
+                self._sequence += 1
+                heapq.heappush(self._queue, (time, self._sequence, _CONTROL, code, packed))
+
+    def _apply_control(self, code: int, subject: int) -> None:
+        """Toggle down-state; a link recovery re-injects its deferred backlog."""
+        if code == _ACT_LINK_DOWN:
+            self._down_links.add(subject)
+        elif code == _ACT_LINK_UP:
+            self._down_links.discard(subject)
+            pending = self._deferred.pop(subject, None)
+            if pending:
+                receiver = self._nodes[subject % self._n]
+                for receiver_index, sender, payload in pending:
+                    self._push_message(sender, receiver, receiver_index, subject, payload)
+        elif code == _ACT_NODE_DOWN:
+            self._down_nodes.add(subject)
+        else:
+            self._down_nodes.discard(subject)
+
+    def _admit_message(self, event: tuple) -> bool:
+        """Delivery-time fault check; ``False`` when the message is not delivered."""
+        link_key = event[3]
+        stats = self.stats
+        if link_key in self._down_links:
+            if self.faults.on_down == "defer":
+                self._deferred.setdefault(link_key, []).append((event[4], event[5], event[6]))
+                stats.deferred_messages += 1
+            else:
+                stats.dropped_messages += 1
+            return False
+        if event[4] in self._down_nodes:
+            stats.dropped_messages += 1
+            return False
+        return True
 
     def _dispatch(self, event: tuple) -> None:
         """Deliver one popped event to its process (the :meth:`step` path).
@@ -207,9 +423,14 @@ class Simulator:
         observe accurate stats without a full decode per event.
         """
         self._time = event[0]
-        if event[2] == _MESSAGE:
-            self.stats.delivered_messages += 1
+        kind = event[2]
+        if kind == _MESSAGE:
             link_key = event[3]
+            if self._track_inflight:
+                self._inflight[link_key] -= 1
+            if self._faults_active and not self._admit_message(event):
+                return
+            self.stats.delivered_messages += 1
             self._link_counts[link_key] = self._link_counts.get(link_key, 0) + 1
             link = (self._nodes[link_key // self._n], self._nodes[link_key % self._n])
             per_link = self.stats.per_link_messages
@@ -218,11 +439,17 @@ class Simulator:
             if process is not None:
                 process.messages_received += 1
                 process.on_message(event[5], event[6])
-        else:
+        elif kind == _TIMER:
+            if self._faults_active and event[3] in self._down_nodes:
+                self.stats.suppressed_timers += 1
+                return
             self.stats.timer_events += 1
             process = self._process_by_index[event[3]]
             if process is not None:
                 process.on_timer(event[4])
+        else:
+            self.stats.fault_control_events += 1
+            self._apply_control(event[3], event[4])
 
     def _flush_stats(self) -> None:
         """Decode the packed per-link counters into the public stats dict."""
@@ -273,6 +500,10 @@ class Simulator:
         if stop_stride < 1:
             raise SchedulerError("stop_stride must be >= 1")
         self.start()
+        if self._faults_active or self._track_inflight:
+            # Fault checks and in-flight bookkeeping live in a separate loop
+            # so fault-free sweeps keep the branch-free hot path below.
+            return self._run_with_faults(max_events, max_time, stop_when, stop_stride)
         # The dispatch logic is inlined here (mirroring :meth:`_dispatch`):
         # this loop runs once per delivered event and is the single hottest
         # frame of every sweep.
@@ -305,6 +536,73 @@ class Simulator:
                 if process is not None:
                     process.on_timer(event[4])
             events += 1
+            if stop_when is not None and events % stop_stride == 0 and stop_when():
+                break
+        stats.final_time = self._time
+        self._flush_stats()
+        return stats
+
+    def _run_with_faults(
+        self,
+        max_events: Optional[int],
+        max_time: Optional[float],
+        stop_when: Optional[Any],
+        stop_stride: int,
+    ) -> SimulationStats:
+        """The fault-aware twin of :meth:`run`'s hot loop.
+
+        Identical control flow plus: control events toggle the down-sets,
+        messages pass :meth:`_admit_message` before delivery, timers of down
+        nodes are suppressed, and in-flight counts are decremented for the
+        congestion-delay probe.  Suppressed events count toward
+        ``max_events`` (they were popped) but cannot flip ``stop_when`` —
+        no process state changed — so the predicate is skipped for them.
+        """
+        queue = self._queue
+        heappop = heapq.heappop
+        stats = self.stats
+        link_counts = self._link_counts
+        process_by_index = self._process_by_index
+        faults_active = self._faults_active
+        track_inflight = self._track_inflight
+        inflight = self._inflight
+        down_nodes = self._down_nodes
+        events = 0
+        while queue:
+            if max_events is not None and events >= max_events:
+                stats.terminated_early = True
+                break
+            if max_time is not None and queue[0][0] > max_time:
+                stats.terminated_early = True
+                break
+            event = heappop(queue)
+            self._time = event[0]
+            kind = event[2]
+            events += 1
+            if kind == _MESSAGE:
+                link_key = event[3]
+                if track_inflight:
+                    inflight[link_key] -= 1
+                if faults_active and not self._admit_message(event):
+                    continue
+                stats.delivered_messages += 1
+                link_counts[link_key] = link_counts.get(link_key, 0) + 1
+                process = process_by_index[event[4]]
+                if process is not None:
+                    process.messages_received += 1
+                    process.on_message(event[5], event[6])
+            elif kind == _TIMER:
+                if faults_active and event[3] in down_nodes:
+                    stats.suppressed_timers += 1
+                    continue
+                stats.timer_events += 1
+                process = process_by_index[event[3]]
+                if process is not None:
+                    process.on_timer(event[4])
+            else:
+                stats.fault_control_events += 1
+                self._apply_control(event[3], event[4])
+                continue
             if stop_when is not None and events % stop_stride == 0 and stop_when():
                 break
         stats.final_time = self._time

@@ -323,6 +323,12 @@ ALGORITHMS: Registry = Registry("algorithm", providers=("repro.runner.algorithms
 #: ``(*args) -> DelayModel`` with ``params`` metadata like behaviours.
 DELAYS: Registry = Registry("delay", providers=("repro.network.delays",))
 
+#: Network fault schedules (a grid's ``faults`` axis).  Registered objects
+#: are factories ``(*args) -> FaultPolicy`` with ``params`` metadata like
+#: behaviours; a policy compiles per (graph, cell seed) into a deterministic
+#: :class:`~repro.network.faults.FaultSchedule`.
+FAULTS: Registry = Registry("fault", providers=("repro.network.faults",))
+
 #: Session stop policies (``run --stop-policy name:args``).  Registered
 #: objects are factories ``(*args) -> StopPolicy`` with ``params`` metadata
 #: like behaviours; built-ins live in :mod:`repro.runner.session`.
@@ -348,6 +354,7 @@ ALL_REGISTRIES: Dict[str, Registry] = {
     "placements": PLACEMENTS,
     "algorithms": ALGORITHMS,
     "delays": DELAYS,
+    "faults": FAULTS,
     "stop-policies": STOP_POLICIES,
     "bitset-backends": BITSET_BACKENDS,
 }
@@ -360,6 +367,7 @@ __all__ = [
     "BEHAVIORS",
     "BITSET_BACKENDS",
     "DELAYS",
+    "FAULTS",
     "PLACEMENTS",
     "Registry",
     "RegistryEntry",

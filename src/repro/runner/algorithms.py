@@ -43,6 +43,7 @@ from repro.conditions.reach_conditions import check_one_reach, check_three_reach
 from repro.exceptions import ExperimentError
 from repro.graphs.digraph import DiGraph
 from repro.network.delays import make_delay
+from repro.network.faults import NO_FAULTS, FaultSchedule, make_faults
 from repro.registry import ALGORITHMS, BEHAVIORS, PLACEMENTS, parse_plugin_spec
 from repro.runner.experiment import (
     run_bw_experiment,
@@ -142,10 +143,27 @@ def _cell_config(spec: GridSpec, cell: SweepCell) -> ConsensusConfig:
     )
 
 
+def _cell_fault_schedule(cell: SweepCell, graph: DiGraph) -> Optional[FaultSchedule]:
+    """Compile the cell's fault spec (``None`` for the fault-free default)."""
+    if cell.faults in (NO_FAULTS, NOT_APPLICABLE):
+        return None
+    return make_faults(cell.faults).build(graph, cell.derived_seed)
+
+
+def _require_no_faults(cell: SweepCell) -> None:
+    """Fault schedules only make sense for asynchronous message-passing cells."""
+    if cell.faults not in (NO_FAULTS, NOT_APPLICABLE):
+        raise ExperimentError(
+            f"algorithm {cell.algorithm!r} runs outside the asynchronous simulator; "
+            f"its cells cannot carry fault schedule {cell.faults!r}"
+        )
+
+
 # ----------------------------------------------------------------------
 # consensus algorithms
 # ----------------------------------------------------------------------
 def _run_sync_cell(spec: GridSpec, cell: SweepCell, graph: DiGraph) -> CellResult:
+    _require_no_faults(cell)
     config = _cell_config(spec, cell)
     inputs = _cell_inputs(spec, cell, graph)
     faulty = resolve_placement(cell.placement, graph, cell.f, seed=cell.derived_seed)
@@ -171,7 +189,13 @@ def _run_async_cell(spec: GridSpec, cell: SweepCell, graph: DiGraph) -> CellResu
     faulty = resolve_placement(cell.placement, graph, cell.f, seed=cell.derived_seed)
     factory = resolve_behavior_factory(cell.behavior)
     plan = FaultPlan(faulty, lambda node: factory(), seed=cell.derived_seed)
-    delay_model = make_delay(DEFAULT_DELAY_SPEC)
+    schedule = _cell_fault_schedule(cell, graph)
+    # Congestion-style policies inject their effect through the delay model;
+    # the schedule advertises the spec to use instead of the sweep default.
+    delay_spec = DEFAULT_DELAY_SPEC
+    if schedule is not None and schedule.delay_spec:
+        delay_spec = schedule.delay_spec
+    delay_model = make_delay(delay_spec)
     if cell.algorithm == "bw":
         outcome = run_bw_experiment(
             graph,
@@ -182,6 +206,7 @@ def _run_async_cell(spec: GridSpec, cell: SweepCell, graph: DiGraph) -> CellResu
             seed=cell.derived_seed,
             topology=cached_topology_knowledge(cell.topology, cell.f, spec.path_policy),
             behavior_name=cell.behavior,
+            faults=schedule,
         )
     elif cell.algorithm == "clique":
         outcome = run_clique_experiment(
@@ -192,6 +217,7 @@ def _run_async_cell(spec: GridSpec, cell: SweepCell, graph: DiGraph) -> CellResu
             delay_model=delay_model,
             seed=cell.derived_seed,
             behavior_name=cell.behavior,
+            faults=schedule,
         )
     else:
         # The crash baseline only uses simple-path machinery regardless of
@@ -205,6 +231,7 @@ def _run_async_cell(spec: GridSpec, cell: SweepCell, graph: DiGraph) -> CellResu
             seed=cell.derived_seed,
             topology=cached_topology_knowledge(cell.topology, cell.f, "simple"),
             behavior_name=cell.behavior,
+            faults=schedule,
         )
     return CellResult.from_outcome(cell, graph, outcome)
 
@@ -245,6 +272,7 @@ def _check_cell_result(
 
 
 def _run_check_reach(spec: GridSpec, cell: SweepCell, graph: DiGraph) -> CellResult:
+    _require_no_faults(cell)
     reach_1 = check_one_reach(graph, cell.f).holds
     reach_2 = check_two_reach(graph, cell.f).holds
     reach_3 = check_three_reach(graph, cell.f).holds
@@ -257,6 +285,7 @@ def _run_check_reach(spec: GridSpec, cell: SweepCell, graph: DiGraph) -> CellRes
 
 
 def _run_check_table1(spec: GridSpec, cell: SweepCell, graph: DiGraph) -> CellResult:
+    _require_no_faults(cell)
     row = compare_undirected(graph, cell.f)
     return _check_cell_result(
         cell,
@@ -275,6 +304,7 @@ def _run_check_table1(spec: GridSpec, cell: SweepCell, graph: DiGraph) -> CellRe
 
 
 def _run_check_table2(spec: GridSpec, cell: SweepCell, graph: DiGraph) -> CellResult:
+    _require_no_faults(cell)
     row = directed_feasibility_row(graph, cell.f)
     return _check_cell_result(
         cell,
@@ -293,6 +323,7 @@ def _run_check_table2(spec: GridSpec, cell: SweepCell, graph: DiGraph) -> CellRe
 
 
 def _run_check_necessity(spec: GridSpec, cell: SweepCell, graph: DiGraph) -> CellResult:
+    _require_no_faults(cell)
     if check_three_reach(graph, cell.f).holds:
         raise ExperimentError(
             f"{graph.name} satisfies 3-reach for f={cell.f}; "

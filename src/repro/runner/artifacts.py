@@ -284,10 +284,16 @@ class ComparisonReport:
 
 
 def _group_key(group: Mapping[str, object]) -> str:
-    return (
+    key = (
         f"{group['algorithm']}|{group['topology']}|f={group['f']}"
         f"|{group['behavior']}|{group['placement']}"
     )
+    # The faults axis is omitted from fault-free records, so artifacts
+    # written before it existed keep the same keys as ones written after.
+    faults = group.get("faults", "none")
+    if faults != "none":
+        key += f"|faults={faults}"
+    return key
 
 
 def compare(

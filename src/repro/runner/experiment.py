@@ -23,6 +23,7 @@ from repro.algorithms.topology import TopologyKnowledge
 from repro.exceptions import ExperimentError
 from repro.graphs.digraph import DiGraph
 from repro.network.delays import DelayModel, UniformDelay
+from repro.network.faults import FaultSchedule
 from repro.network.simulator import Simulator
 from repro.runner.metrics import ConsensusOutcome, per_round_ranges
 
@@ -57,6 +58,20 @@ def _outcome_from_processes(
         node: getattr(proc, "value_history", [inputs[node]]) for node, proc in honest.items()
     }
     rounds = max((getattr(proc, "rounds_completed", 0) for proc in honest.values()), default=0)
+    fault_summary = None
+    schedule = simulator.faults
+    if schedule is not None and schedule.active:
+        stats = simulator.stats
+        fault_summary = {
+            "policy": schedule.policy,
+            "trace_digest": schedule.trace_digest(),
+            "control_events": len(schedule.trace()),
+            "dropped": stats.dropped_messages,
+            "duplicated": stats.duplicated_messages,
+            "deferred": stats.deferred_messages,
+            "suppressed": stats.suppressed_messages,
+            "retransmissions": stats.retransmissions,
+        }
     return ConsensusOutcome(
         algorithm=algorithm,
         graph_name=graph.name or "<unnamed>",
@@ -73,6 +88,7 @@ def _outcome_from_processes(
         per_round_ranges=per_round_ranges(histories),
         behavior=behavior_name or fault_plan.describe(),
         seed=seed,
+        fault_summary=fault_summary,
     )
 
 
@@ -99,6 +115,7 @@ def run_bw_experiment(
     topology: Optional[TopologyKnowledge] = None,
     max_events: int = DEFAULT_MAX_EVENTS,
     behavior_name: str = "",
+    faults: Optional[FaultSchedule] = None,
 ) -> ConsensusOutcome:
     """Run the Byzantine-Witness algorithm once and report its outcome."""
     _validate_inputs(graph, inputs)
@@ -107,7 +124,7 @@ def run_bw_experiment(
     shared = topology or TopologyKnowledge(graph, config.f, config.path_policy)
     processes = create_bw_processes(graph, inputs, config, topology=shared)
     wrapped = plan.apply(processes)
-    simulator = Simulator(graph, delay_model or UniformDelay(0.5, 2.0), seed=seed)
+    simulator = Simulator(graph, delay_model or UniformDelay(0.5, 2.0), seed=seed, faults=faults)
     simulator.add_processes(wrapped.values())
     honest = [processes[node] for node in plan.nonfaulty(graph.nodes)]
     simulator.run(max_events=max_events, stop_when=_all_decided_predicate(honest))
@@ -125,6 +142,7 @@ def run_clique_experiment(
     seed: Optional[int] = None,
     max_events: int = DEFAULT_MAX_EVENTS,
     behavior_name: str = "",
+    faults: Optional[FaultSchedule] = None,
 ) -> ConsensusOutcome:
     """Run the complete-graph (Abraham-style) baseline once."""
     _validate_inputs(graph, inputs)
@@ -132,7 +150,7 @@ def run_clique_experiment(
     plan.validate(graph.nodes, config.f)
     processes = create_clique_processes(graph, dict(inputs), config)
     wrapped = plan.apply(processes)
-    simulator = Simulator(graph, delay_model or UniformDelay(0.5, 2.0), seed=seed)
+    simulator = Simulator(graph, delay_model or UniformDelay(0.5, 2.0), seed=seed, faults=faults)
     simulator.add_processes(wrapped.values())
     honest = [processes[node] for node in plan.nonfaulty(graph.nodes)]
     simulator.run(max_events=max_events, stop_when=_all_decided_predicate(honest))
@@ -151,6 +169,7 @@ def run_crash_experiment(
     topology: Optional[TopologyKnowledge] = None,
     max_events: int = DEFAULT_MAX_EVENTS,
     behavior_name: str = "",
+    faults: Optional[FaultSchedule] = None,
 ) -> ConsensusOutcome:
     """Run the crash-tolerant (2-reach) baseline once."""
     _validate_inputs(graph, inputs)
@@ -158,7 +177,7 @@ def run_crash_experiment(
     plan.validate(graph.nodes, config.f)
     processes = create_crash_processes(graph, inputs, config, topology=topology)
     wrapped = plan.apply(processes)
-    simulator = Simulator(graph, delay_model or UniformDelay(0.5, 2.0), seed=seed)
+    simulator = Simulator(graph, delay_model or UniformDelay(0.5, 2.0), seed=seed, faults=faults)
     simulator.add_processes(wrapped.values())
     honest = [processes[node] for node in plan.nonfaulty(graph.nodes)]
     simulator.run(max_events=max_events, stop_when=_all_decided_predicate(honest))

@@ -244,6 +244,43 @@ def read_stop(run_dir: PathLike) -> Optional[Dict[str, object]]:
 
 
 # ----------------------------------------------------------------------
+# transient-I/O hardening
+# ----------------------------------------------------------------------
+#: How many times a failed shard append / heartbeat is attempted before the
+#: error surfaces, and the capped exponential backoff between attempts.
+TRANSIENT_IO_ATTEMPTS = 5
+TRANSIENT_IO_BACKOFF = 0.05
+TRANSIENT_IO_BACKOFF_CAP = 1.0
+
+
+def retry_transient_io(
+    operation: Callable[[], object],
+    describe: str,
+    sleep: Callable[[float], None] = time.sleep,
+):
+    """Run ``operation``, retrying transient ``OSError`` with capped backoff.
+
+    A flaky filesystem (NFS hiccup, ``EAGAIN``/``EIO`` burst) must not kill
+    a worker mid-lease — exit code :data:`EXIT_ORPHANED` is reserved for
+    genuine coordinator loss.  ``FileNotFoundError`` is deliberately *not*
+    retried: a vanished lease file is the coordinator's fencing signal and
+    must surface immediately.
+    """
+    delay = TRANSIENT_IO_BACKOFF
+    for attempt in range(1, TRANSIENT_IO_ATTEMPTS + 1):
+        try:
+            return operation()
+        except FileNotFoundError:
+            raise
+        except OSError:
+            if attempt >= TRANSIENT_IO_ATTEMPTS:
+                raise
+            sleep(delay)
+            delay = min(delay * 2.0, TRANSIENT_IO_BACKOFF_CAP)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
 # shard writing (the worker's append-only result log)
 # ----------------------------------------------------------------------
 class ShardWriter:
@@ -262,7 +299,10 @@ class ShardWriter:
         directory.mkdir(parents=True, exist_ok=True)
         self.path = directory / f"{worker_id}.jsonl"
         fresh = not self.path.exists() or self.path.stat().st_size == 0
-        self._handle = open(self.path, "ab")
+        self._fd: Optional[int] = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        self._pending = bytearray()
         if fresh:
             self._write(
                 {
@@ -277,19 +317,31 @@ class ShardWriter:
 
     def _write(self, record: Dict[str, object]) -> None:
         line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
-        self._handle.write(line.encode("utf-8"))
-        self._handle.flush()
+        self._pending.extend(line.encode("utf-8"))
+        self._drain()
+
+    def _drain(self) -> None:
+        # Exactly-once append under transient failures: bytes leave
+        # ``_pending`` only once the OS accepted them, so a retried write
+        # resumes mid-line instead of duplicating a record (a torn or
+        # doubled line would poison the coordinator's merge).
+        while self._pending:
+            written = retry_transient_io(
+                lambda: os.write(self._fd, bytes(self._pending)),
+                f"shard {self.path}: append",
+            )
+            del self._pending[: int(written)]
 
     def append_cell(self, result: CellResult, epoch: int) -> None:
         self._write({"record": "cell", "epoch": epoch, "cell": result.as_dict()})
 
     def sync(self) -> None:
-        os.fsync(self._handle.fileno())
+        retry_transient_io(lambda: os.fsync(self._fd), f"shard {self.path}: fsync")
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
     def __enter__(self) -> "ShardWriter":
         return self
@@ -459,7 +511,12 @@ class FabricWorker:
                 if self._stopped():
                     break  # run is ending; completed prefix is in the shard
                 if time.monotonic() - last_beat >= heartbeat_interval:
-                    heartbeat(path)
+                    try:
+                        retry_transient_io(
+                            lambda: heartbeat(path), f"lease {path.name}: heartbeat"
+                        )
+                    except FileNotFoundError:
+                        continue  # fenced; the loop-top re-read abandons the range
                     last_beat = time.monotonic()
                 if throttle > 0:
                     self._throttled_sleep(throttle, path, heartbeat_interval)
@@ -492,7 +549,10 @@ class FabricWorker:
                 return
             if time.monotonic() - last_beat >= heartbeat_interval:
                 try:
-                    heartbeat(lease_file)
+                    retry_transient_io(
+                        lambda: heartbeat(lease_file),
+                        f"lease {lease_file.name}: heartbeat",
+                    )
                 except FileNotFoundError:
                     return  # fenced mid-sleep; the per-cell re-read aborts next
                 last_beat = time.monotonic()

@@ -174,8 +174,10 @@ class GridSpec:
     """Declarative sweep grid: the cross product of every axis below.
 
     Expansion order is fixed (algorithm × topology × f × behaviour ×
-    placement × seed, innermost last) so cell indexes — and therefore the
-    per-cell derived seeds — are stable for a given spec.
+    placement × faults × seed, innermost last) so cell indexes — and
+    therefore the per-cell derived seeds — are stable for a given spec.
+    The ``faults`` axis defaults to the single value ``"none"``, which
+    leaves the indexing of every pre-existing grid unchanged.
     """
 
     name: str
@@ -191,6 +193,10 @@ class GridSpec:
     inputs: str = "spread"
     path_policy: str = "simple"
     rounds: int = 15
+    #: Network-fault axis (``FAULTS`` registry specs).  The default single
+    #: value ``"none"`` keeps the expansion — cell indexes, derived seeds and
+    #: serialized form — of every pre-existing grid unchanged.
+    faults: Tuple[str, ...] = ("none",)
 
     def validate_plugins(self) -> None:
         """Resolve every plugin name the grid references, eagerly.
@@ -204,6 +210,7 @@ class GridSpec:
         from repro.registry import (
             ALGORITHMS,
             BEHAVIORS,
+            FAULTS,
             PLACEMENTS,
             TOPOLOGIES,
             validate_plugin_args,
@@ -219,6 +226,9 @@ class GridSpec:
         for placement in self.placements:
             if placement != NOT_APPLICABLE:
                 PLACEMENTS.get(placement)
+        for fault_spec in self.faults:
+            if fault_spec != NOT_APPLICABLE:
+                validate_plugin_args(FAULTS, fault_spec)
 
     def expand(self) -> List["SweepCell"]:
         """Materialize every cell of the grid, with derived seeds attached.
@@ -235,20 +245,22 @@ class GridSpec:
                 for f in self.f_values:
                     for behavior in self.behaviors:
                         for placement in self.placements:
-                            for seed in self.seeds:
-                                cells.append(
-                                    SweepCell(
-                                        index=index,
-                                        algorithm=algorithm,
-                                        topology=topology,
-                                        f=f,
-                                        behavior=behavior,
-                                        placement=placement,
-                                        seed=seed,
-                                        derived_seed=derive_cell_seed(self.name, index),
+                            for fault_spec in self.faults:
+                                for seed in self.seeds:
+                                    cells.append(
+                                        SweepCell(
+                                            index=index,
+                                            algorithm=algorithm,
+                                            topology=topology,
+                                            f=f,
+                                            behavior=behavior,
+                                            placement=placement,
+                                            seed=seed,
+                                            derived_seed=derive_cell_seed(self.name, index),
+                                            faults=fault_spec,
+                                        )
                                     )
-                                )
-                                index += 1
+                                    index += 1
         return cells
 
     @property
@@ -259,11 +271,12 @@ class GridSpec:
             * len(self.f_values)
             * len(self.behaviors)
             * len(self.placements)
+            * len(self.faults)
             * len(self.seeds)
         )
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "name": self.name,
             "algorithms": list(self.algorithms),
             "topologies": [topology.as_dict() for topology in self.topologies],
@@ -278,6 +291,11 @@ class GridSpec:
             "path_policy": self.path_policy,
             "rounds": self.rounds,
         }
+        # Serialized only when the axis is in use: grids without faults keep
+        # their pre-existing serialized form (and journal spec hashes).
+        if self.faults != ("none",):
+            payload["faults"] = list(self.faults)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "GridSpec":
@@ -361,6 +379,7 @@ class GridSpec:
             ("f_values", numbers("f_values", int)),
             ("behaviors", strings("behaviors")),
             ("placements", strings("placements")),
+            ("faults", strings("faults")),
             ("seeds", numbers("seeds", int)),
             ("epsilon", scalar("epsilon", float)),
             ("input_low", scalar("input_low", float)),
@@ -386,12 +405,14 @@ class SweepCell:
     placement: str
     seed: int
     derived_seed: int
+    faults: str = "none"
 
     @property
     def label(self) -> str:
+        fault_part = "" if self.faults == "none" else f"|{self.faults}"
         return (
             f"{self.algorithm}|{self.topology.label}|f={self.f}"
-            f"|{self.behavior}|{self.placement}|s={self.seed}"
+            f"|{self.behavior}|{self.placement}{fault_part}|s={self.seed}"
         )
 
 
@@ -423,12 +444,20 @@ class CellResult:
     messages: int = 0
     simulated_time: float = 0.0
     metrics: Dict[str, object] = field(default_factory=dict)
+    faults: str = "none"
 
     @classmethod
     def from_outcome(
         cls, cell: SweepCell, graph: DiGraph, outcome: ConsensusOutcome
     ) -> "CellResult":
         observed = outcome.output_range
+        metrics: Dict[str, object] = {
+            "epsilon_agreement": outcome.epsilon_agreement,
+            "validity": outcome.validity,
+            "termination": outcome.termination,
+        }
+        if outcome.fault_summary:
+            metrics["faults"] = dict(outcome.fault_summary)
         return cls(
             index=cell.index,
             algorithm=cell.algorithm,
@@ -444,20 +473,24 @@ class CellResult:
             rounds=outcome.rounds,
             messages=outcome.messages_delivered,
             simulated_time=outcome.simulated_time,
-            metrics={
-                "epsilon_agreement": outcome.epsilon_agreement,
-                "validity": outcome.validity,
-                "termination": outcome.termination,
-            },
+            metrics=metrics,
+            faults=cell.faults,
         )
 
     @property
-    def group_key(self) -> Tuple[str, str, int, str, str]:
+    def group_key(self) -> Tuple[str, str, int, str, str, str]:
         """Aggregation key: every axis except the seed."""
-        return (self.algorithm, self.topology, self.f, self.behavior, self.placement)
+        return (
+            self.algorithm,
+            self.topology,
+            self.f,
+            self.behavior,
+            self.placement,
+            self.faults,
+        )
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "index": self.index,
             "algorithm": self.algorithm,
             "topology": self.topology,
@@ -474,6 +507,11 @@ class CellResult:
             "simulated_time": self.simulated_time,
             "metrics": dict(self.metrics),
         }
+        # Emitted only off the default, keeping fault-free cell records (and
+        # therefore every committed artifact and journal) byte-identical.
+        if self.faults != "none":
+            payload["faults"] = self.faults
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "CellResult":
@@ -493,6 +531,7 @@ class CellResult:
             messages=int(payload.get("messages", 0)),
             simulated_time=float(payload.get("simulated_time", 0.0)),
             metrics=dict(payload.get("metrics", {})),  # type: ignore[arg-type]
+            faults=str(payload.get("faults", "none")),
         )
 
 
@@ -511,6 +550,7 @@ class GroupAggregate:
     total_messages: int = 0
     worst_range: float = 0.0
     undecided: int = 0
+    faults: str = "none"
 
     def fold(self, result: CellResult) -> None:
         self.runs += 1
@@ -535,7 +575,7 @@ class GroupAggregate:
         return self.total_messages / self.runs if self.runs else 0.0
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "algorithm": self.algorithm,
             "topology": self.topology,
             "f": self.f,
@@ -548,10 +588,14 @@ class GroupAggregate:
             "mean_messages": self.mean_messages,
             "worst_range": None if self.undecided else self.worst_range,
         }
+        # Same omit-at-default rule as CellResult.as_dict.
+        if self.faults != "none":
+            payload["faults"] = self.faults
+        return payload
 
 
 def _fold_into(
-    groups: Dict[Tuple[str, str, int, str, str], GroupAggregate], result: CellResult
+    groups: Dict[Tuple[str, str, int, str, str, str], GroupAggregate], result: CellResult
 ) -> None:
     """Fold one cell into the group map (creating its group on first sight)."""
     key = result.group_key
@@ -562,13 +606,14 @@ def _fold_into(
             f=result.f,
             behavior=result.behavior,
             placement=result.placement,
+            faults=result.faults,
         )
     groups[key].fold(result)
 
 
 def aggregate_cells(cells: Sequence[CellResult]) -> List[GroupAggregate]:
     """Fold cell results into per-group aggregates, ordered by first occurrence."""
-    groups: Dict[Tuple[str, str, int, str, str], GroupAggregate] = {}
+    groups: Dict[Tuple[str, str, int, str, str, str], GroupAggregate] = {}
     for result in cells:
         _fold_into(groups, result)
     return list(groups.values())
@@ -719,7 +764,7 @@ class SweepEngine:
         """
         start = time.perf_counter()
         results: List[CellResult] = []
-        groups: Dict[Tuple[str, str, int, str, str], GroupAggregate] = {}
+        groups: Dict[Tuple[str, str, int, str, str, str], GroupAggregate] = {}
         stop_reason: Optional[str] = None
         stream = self.stream(spec, runner=runner, cells=cells)
         try:

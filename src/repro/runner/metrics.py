@@ -35,6 +35,10 @@ class ConsensusOutcome:
     per_round_ranges: List[float] = field(default_factory=list)
     behavior: str = ""
     seed: Optional[int] = None
+    #: Fault-injection provenance (policy spec, control-trace digest and the
+    #: loss/duplication counters); ``None`` unless the run had an *active*
+    #: fault schedule, so fault-free outcomes serialize exactly as before.
+    fault_summary: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # Definition 1 properties

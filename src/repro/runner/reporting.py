@@ -73,18 +73,28 @@ SWEEP_HEADERS = (
 )
 
 
-def sweep_group_rows(groups: Iterable["GroupAggregate"]) -> List[List[str]]:
-    """Render :class:`~repro.runner.harness.GroupAggregate` records as rows."""
+def sweep_group_rows(
+    groups: Iterable["GroupAggregate"], with_faults: bool = False
+) -> List[List[str]]:
+    """Render :class:`~repro.runner.harness.GroupAggregate` records as rows.
+
+    ``with_faults`` inserts the fault-policy column after ``placement`` —
+    the degradation-curve view for sweeps that include a faults axis.
+    """
     rows: List[List[str]] = []
     for group in groups:
         worst = "inf" if group.undecided else f"{group.worst_range:.4g}"
-        rows.append(
+        row = [
+            group.algorithm,
+            group.topology,
+            str(group.f),
+            group.behavior,
+            group.placement,
+        ]
+        if with_faults:
+            row.append(group.faults)
+        row.extend(
             [
-                group.algorithm,
-                group.topology,
-                str(group.f),
-                group.behavior,
-                group.placement,
                 str(group.runs),
                 f"{group.success_rate:.2f}",
                 f"{group.mean_rounds:.1f}",
@@ -92,12 +102,22 @@ def sweep_group_rows(groups: Iterable["GroupAggregate"]) -> List[List[str]]:
                 worst,
             ]
         )
+        rows.append(row)
     return rows
 
 
 def render_sweep_groups(title: str, groups: Iterable["GroupAggregate"]) -> str:
-    """The standard human-readable summary of a sweep run."""
-    return f"{banner(title)}\n{format_table(SWEEP_HEADERS, sweep_group_rows(groups))}\n"
+    """The standard human-readable summary of a sweep run.
+
+    The fault-policy column appears only when some group actually swept a
+    fault schedule, so fault-free reports render exactly as before.
+    """
+    groups = list(groups)
+    with_faults = any(group.faults != "none" for group in groups)
+    headers = SWEEP_HEADERS
+    if with_faults:
+        headers = SWEEP_HEADERS[:5] + ("faults",) + SWEEP_HEADERS[5:]
+    return f"{banner(title)}\n{format_table(headers, sweep_group_rows(groups, with_faults))}\n"
 
 
 # ----------------------------------------------------------------------

@@ -74,6 +74,8 @@ BUILTIN_SCENARIO_ORDER = (
     "table2",
     "necessity",
     "scaling",
+    "churn",
+    "congestion",
 )
 
 SCENARIO_SCHEMA_VERSION = 1

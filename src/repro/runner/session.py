@@ -127,7 +127,7 @@ class CellCompleted(SessionEvent):
 class GroupUpdated(SessionEvent):
     """The aggregate of one group absorbed a new cell (snapshot copy)."""
 
-    key: Tuple[str, str, int, str, str]
+    key: Tuple[str, str, int, str, str, str]
     group: GroupAggregate
 
 
@@ -287,7 +287,7 @@ class _SessionState:
     """Mutable run state shared between events() and the public accessors."""
 
     results: List[CellResult] = field(default_factory=list)
-    groups: Dict[Tuple[str, str, int, str, str], GroupAggregate] = field(default_factory=dict)
+    groups: Dict[Tuple[str, str, int, str, str, str], GroupAggregate] = field(default_factory=dict)
     finished: Optional[RunFinished] = None
 
 

@@ -182,7 +182,7 @@ class TestArtifactRoundTrip:
         """artifact -> journal -> fold() -> artifact_payload reproduces every
         committed baseline byte for byte (the api-v2 derivation contract)."""
         baselines = sorted(BASELINE_DIR.glob("*.json"))
-        assert len(baselines) == 20
+        assert len(baselines) == 24
         for index, baseline in enumerate(baselines):
             payload = load_artifact(baseline)
             journal = journal_from_artifact(tmp_path / f"b{index}", payload)
