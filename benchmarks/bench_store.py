@@ -1,0 +1,149 @@
+"""Results-store probe — what ingesting and querying history costs.
+
+The cross-run store (``repro.store``) is only useful if loading the whole
+committed corpus is an afterthought and trend queries come back at
+interactive latency — ``runner query`` runs them on every invocation and
+the serving layer runs them per HTTP request.  This benchmark bootstraps
+the committed corpus (every ``benchmarks/baselines/*.json`` plus the
+``BENCH_*.json`` records) into fresh stores, ingests a journal
+materialized from the largest full baseline, and times the two query
+shapes the CLI and server lean on (run-level trend, per-cell variance by
+group).  Results land in ``benchmarks/results/BENCH_store.json``; the CI
+``perf-smoke`` job fails the build when ingest throughput or query
+latency regresses past the gates recorded in the ``claim``.
+
+Everything is measured best-of-:data:`REPEATS` so one scheduling hiccup
+cannot poison the committed claim.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Dict
+
+import pytest
+
+from repro.runner.artifacts import load_artifact
+from repro.runner.journal import journal_from_artifact
+from repro.runner.reporting import format_table
+from repro.store import ResultsStore
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: The journal-ingest probe folds the largest committed full sweep — the
+#: worst case for per-cell row inserts.
+JOURNAL_BASELINE = "table2.full.json"
+
+#: Measurement repetitions per probe; the best (lowest seconds) run is kept.
+REPEATS = 3
+
+#: Query invocations averaged per repetition.
+QUERY_ITERATIONS = 50
+
+
+def _bootstrap_probe(tmp_path: pathlib.Path) -> Dict[str, object]:
+    best_seconds = float("inf")
+    runs = benches = 0
+    for repeat in range(REPEATS):
+        with ResultsStore(tmp_path / f"ingest-{repeat}.sqlite") as store:
+            start = time.perf_counter()
+            reports = store.bootstrap(REPO_ROOT)
+            elapsed = time.perf_counter() - start
+        runs = sum(1 for report in reports if report.kind in ("run", "journal"))
+        benches = sum(1 for report in reports if report.kind == "bench")
+        best_seconds = min(best_seconds, elapsed)
+    return {
+        "runs": runs,
+        "benches": benches,
+        "seconds": round(best_seconds, 4),
+        "runs_per_second": round(runs / best_seconds, 2) if best_seconds else None,
+    }
+
+
+def _journal_probe(tmp_path: pathlib.Path) -> Dict[str, object]:
+    payload = load_artifact(REPO_ROOT / "benchmarks" / "baselines" / JOURNAL_BASELINE)
+    run_dir = tmp_path / "journal-run"
+    journal_from_artifact(run_dir, payload)
+    best_seconds = float("inf")
+    for repeat in range(REPEATS):
+        with ResultsStore(tmp_path / f"journal-{repeat}.sqlite") as store:
+            start = time.perf_counter()
+            (report,) = store.ingest(run_dir)
+            elapsed = time.perf_counter() - start
+        assert report.action == "inserted"
+        best_seconds = min(best_seconds, elapsed)
+    cells = len(payload["cells"])
+    return {
+        "baseline": JOURNAL_BASELINE,
+        "cells": cells,
+        "seconds": round(best_seconds, 4),
+        "cells_per_second": round(cells / best_seconds, 2) if best_seconds else None,
+    }
+
+
+def _query_probe(store: ResultsStore) -> Dict[str, object]:
+    def best_mean_ms(call) -> float:
+        best = float("inf")
+        for repeat in range(REPEATS):
+            start = time.perf_counter()
+            for _ in range(QUERY_ITERATIONS):
+                call()
+            best = min(best, (time.perf_counter() - start) / QUERY_ITERATIONS)
+        return round(best * 1000, 4)
+
+    trend_ms = best_mean_ms(lambda: store.trend("figure1b", "success_rate"))
+    variance_ms = best_mean_ms(lambda: store.group_variance("table2", mode="full"))
+    return {
+        "iterations": QUERY_ITERATIONS,
+        "trend_ms": trend_ms,
+        "variance_ms": variance_ms,
+    }
+
+
+@pytest.mark.benchmark(group="store")
+def test_store_ingest_and_query(benchmark, tmp_path, write_result, results_dir):
+    records: Dict[str, Dict[str, object]] = {}
+
+    def run_all():
+        records["ingest"] = _bootstrap_probe(tmp_path)
+        records["journal_ingest"] = _journal_probe(tmp_path)
+        with ResultsStore(tmp_path / "query.sqlite") as store:
+            store.bootstrap(REPO_ROOT)
+            records["query"] = _query_probe(store)
+        return records
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    payload = {
+        "schema": 1,
+        "repeats": REPEATS,
+        "ingest": records["ingest"],
+        "journal_ingest": records["journal_ingest"],
+        "query": records["query"],
+        "claim": (
+            "the committed corpus bootstraps at >= 10 runs/s and trend/variance "
+            "queries answer in < 50 ms each"
+        ),
+    }
+    (results_dir / "BENCH_store.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    rows = [
+        [
+            "bootstrap corpus",
+            records["ingest"]["seconds"],
+            f"{records['ingest']['runs_per_second']} runs/s",
+        ],
+        [
+            f"journal ingest ({JOURNAL_BASELINE})",
+            records["journal_ingest"]["seconds"],
+            f"{records['journal_ingest']['cells_per_second']} cells/s",
+        ],
+        ["trend query", records["query"]["trend_ms"] / 1000, "per call"],
+        ["variance query", records["query"]["variance_ms"] / 1000, "per call"],
+    ]
+    write_result("bench_store", format_table(["probe", "seconds", "rate"], rows))
+    assert records["ingest"]["runs"] >= 24  # the committed baseline corpus
+    assert records["ingest"]["benches"] >= 5

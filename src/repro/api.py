@@ -51,6 +51,23 @@ and the baseline drivers, plus :func:`quick_consensus` for one-liners.
 :func:`compare` for the canonical JSON documents CI gates on; journaled
 sessions *derive* the same bytes from their journal.
 
+**The results store** (cross-run history) — :class:`ResultsStore` ingests
+journals, artifacts and ``BENCH_*.json`` records idempotently (keyed by
+spec hash × scenario × git commit × mode) into one sqlite database and
+serves typed queries: :meth:`~ResultsStore.trend` (per-commit
+:class:`TrendPoint` series, run- or group-level),
+:meth:`~ResultsStore.group_variance` (per-cell :class:`GroupVariance`, the
+seed-budgeting signal), :meth:`~ResultsStore.bench_trend`
+(:class:`BenchPoint` perf trajectories).  ``python -m repro.runner serve``
+exposes the same queries over HTTP plus SSE live streams
+(:func:`make_server` / :class:`ServeConfig`); schema in
+``docs/store-schema.md``::
+
+    with ResultsStore("benchmarks/results/store.sqlite") as store:
+        store.bootstrap(".")
+        for point in store.trend("figure1b", "success_rate"):
+            print(point.git_commit[:12], point.value)
+
 **The sweep fabric** (distributed execution over a shared directory) —
 :class:`FabricCoordinator` publishes cell-range leases over a run
 directory, merges per-worker shards into the canonical journal with epoch
@@ -74,6 +91,7 @@ from repro.exceptions import (
     JournalError,
     ReproError,
     ScenarioFileError,
+    StoreError,
     UnknownPluginError,
 )
 from repro.graphs.digraph import DiGraph
@@ -154,6 +172,16 @@ from repro.runner.session import (
     make_stop_policy,
     run_session,
 )
+from repro.store import (
+    BenchPoint,
+    GroupVariance,
+    IngestReport,
+    ResultsStore,
+    ServeConfig,
+    TrendPoint,
+    make_server,
+    serve_forever,
+)
 
 #: Version of this public surface (the single source of truth; the legacy
 #: ``repro.registry.API_VERSION`` import path forwards here).  2 = streaming
@@ -204,6 +232,7 @@ __all__ = [
     "JournalError",
     "ReproError",
     "ScenarioFileError",
+    "StoreError",
     "UnknownPluginError",
     # graphs + sweeps
     "DiGraph",
@@ -248,6 +277,15 @@ __all__ = [
     "read_lease",
     "render_fabric_status",
     "replay_fence_log",
+    # the results store + serving layer (schema in docs/store-schema.md)
+    "BenchPoint",
+    "GroupVariance",
+    "IngestReport",
+    "ResultsStore",
+    "ServeConfig",
+    "TrendPoint",
+    "make_server",
+    "serve_forever",
     # scenarios
     "SCENARIOS",
     "Scenario",

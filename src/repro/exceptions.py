@@ -132,3 +132,9 @@ class UnknownPluginError(ExperimentError, KeyError):
 class ScenarioFileError(ExperimentError):
     """Raised when a declarative scenario file is malformed or fails schema
     validation."""
+
+
+class StoreError(ExperimentError):
+    """Raised by the cross-run results store (:mod:`repro.store`) for
+    unreadable databases, unsupported schema versions, unrecognized ingest
+    sources and malformed queries."""

@@ -71,6 +71,19 @@ run with ``fabric worker --run-dir /nfs/dir`` (``--fabric 0`` starts a
 coordinator with no local pool); ``fabric status --run-dir`` inspects a
 live run.  The wire format is specified in ``docs/fabric-protocol.md``.
 
+**The results store + serving layer.**  :mod:`repro.store` folds every
+sweep output — journals, schema-v1 artifacts, ``BENCH_*.json`` perf
+records — into one sqlite database, idempotently keyed by spec hash ×
+scenario × git commit × mode, and answers cross-run queries: per-commit
+metric trends (run- or group-level), per-cell variance by group, bench
+trajectories.  The CLI wraps it as ``store init [--bootstrap]`` /
+``ingest PATH...`` / ``query``, and ``serve`` exposes the same queries
+over stdlib HTTP plus an SSE endpoint (``/v1/live/<run>/events``) that
+streams a run's journal live — header as ``RunStarted``, cells as
+``CellCompleted`` in strict index order, the seal as ``RunFinished`` —
+using the same incremental tail reader as the fabric.  Schema:
+``docs/store-schema.md``.
+
 **Run-directory layout.**  A journaled (``--journal``) run directory
 contains just ``journal.jsonl``.  A fabric run directory adds, next to
 the same canonical journal:

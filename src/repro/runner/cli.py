@@ -1,6 +1,6 @@
 """``python -m repro.runner`` — the sweep orchestration command line.
 
-Five subcommands drive the whole experiment surface:
+Nine subcommands drive the whole experiment surface:
 
 ``list``
     Show every registered scenario with its grid sizes, paper artefact and
@@ -33,7 +33,26 @@ Five subcommands drive the whole experiment surface:
     worker (the same protocol ``run --fabric N`` uses for its local pool,
     so pointing several machines at one NFS run dir just works) and
     ``fabric status --run-dir DIR`` prints a read-only snapshot of the
-    leases, shards and workers.  Wire format: ``docs/fabric-protocol.md``.
+    leases, shards and workers (``--store PATH`` also records the snapshot
+    into the results store).  Wire format: ``docs/fabric-protocol.md``.
+``store``
+    Manage the cross-run results store (:mod:`repro.store`):
+    ``store init`` creates/migrates the sqlite database and ``store init
+    --bootstrap`` also ingests the committed corpus (every
+    ``benchmarks/baselines`` artifact plus the ``BENCH_*.json`` records).
+    Schema: ``docs/store-schema.md``.
+``ingest``
+    Idempotently ingest journals, schema-v1 artifacts, ``BENCH_*.json``
+    files — or directories of them — into the results store.
+``query``
+    Query the store headlessly: per-commit metric trends
+    (``--scenario/--metric`` plus group-axis filters), per-cell variance by
+    group (``--variance``), bench trajectories (``--bench/--metric``) and
+    ingest summaries (``--list``).
+``serve``
+    Serve the store over HTTP (stdlib only): JSON query endpoints plus an
+    SSE endpoint streaming live progress of journaled/fabric runs under
+    ``--runs-dir`` (``/v1/live/<run>/events``).
 
 Exit codes (documented in :mod:`repro.runner`): 0 success — including runs
 sealed early by a stop policy; 1 ``compare`` drift; 2 usage/configuration
@@ -55,6 +74,12 @@ Examples
     python -m repro.runner compare benchmarks/baselines/figure1b.quick.json \\
         benchmarks/results/figure1b.quick.json
     python -m repro.runner profile --scenario definition1 --quick --top 15
+    python -m repro.runner store init --bootstrap
+    python -m repro.runner ingest benchmarks/results/runs/table2.full
+    python -m repro.runner query --scenario figure1b --metric success_rate
+    python -m repro.runner query --scenario table1 --variance --mode full
+    python -m repro.runner query --bench store --metric ingest.runs_per_second
+    python -m repro.runner serve --port 8742
 """
 
 from __future__ import annotations
@@ -94,6 +119,7 @@ from repro.runner.scenarios import (
     warm_worker_caches,
 )
 from repro.runner.worker_cache import bitset_cache_stats, worker_cache_stats
+from repro.store.store import DEFAULT_STORE_PATH, GROUP_AXES
 from repro.runner.session import (
     CellCompleted,
     ExperimentSession,
@@ -316,6 +342,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the raw snapshot as JSON instead of the human-readable view",
     )
+    status_parser.add_argument(
+        "--store",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="also record this snapshot into the results store at PATH, so the "
+        "live run appears in 'serve' (/v1/snapshots) without extra plumbing",
+    )
 
     compare_parser = commands.add_parser(
         "compare", help="diff an artifact against a baseline; exit 1 on drift"
@@ -379,6 +413,127 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="bitset computation backend to profile under (a registered name "
         "or 'auto'; exported as REPRO_BITSET_BACKEND)",
+    )
+
+    def store_option(target: argparse.ArgumentParser) -> None:
+        target.add_argument(
+            "--store",
+            type=pathlib.Path,
+            default=DEFAULT_STORE_PATH,
+            metavar="PATH",
+            help=f"results store database (default: {DEFAULT_STORE_PATH})",
+        )
+
+    store_parser = commands.add_parser(
+        "store", help="manage the cross-run results store (docs/store-schema.md)"
+    )
+    store_commands = store_parser.add_subparsers(dest="store_command", required=True)
+    init_parser = store_commands.add_parser(
+        "init", help="create the results store (migrating an existing one forward)"
+    )
+    store_option(init_parser)
+    init_parser.add_argument(
+        "--bootstrap",
+        action="store_true",
+        help="also ingest the committed corpus: benchmarks/baselines/*.json plus "
+        "benchmarks/results/BENCH_*.json (idempotent)",
+    )
+    init_parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=pathlib.Path("."),
+        metavar="DIR",
+        help="repository root the --bootstrap corpus is resolved against "
+        "(default: the current directory)",
+    )
+
+    ingest_parser = commands.add_parser(
+        "ingest",
+        help="ingest journals, sweep artifacts and BENCH_*.json files into the "
+        "results store (idempotent)",
+    )
+    ingest_parser.add_argument(
+        "sources",
+        nargs="+",
+        type=pathlib.Path,
+        metavar="PATH",
+        help="journal .jsonl / run directory / artifact .json / BENCH_*.json file, "
+        "or a directory tree of them",
+    )
+    store_option(ingest_parser)
+    ingest_parser.add_argument(
+        "--json", action="store_true", help="emit the ingest reports as JSON"
+    )
+
+    query_parser = commands.add_parser(
+        "query", help="query the results store: trends, variance, bench trajectories"
+    )
+    store_option(query_parser)
+    query_parser.add_argument(
+        "--scenario", default=None, metavar="NAME", help="scenario to query"
+    )
+    query_parser.add_argument(
+        "--metric",
+        default=None,
+        metavar="NAME",
+        help="metric to trend: success_rate (default), mean_rounds or cells at run "
+        "level; with group-axis filters also mean_messages/runs; for --bench, a "
+        "dotted metric path",
+    )
+    query_parser.add_argument(
+        "--mode", choices=("quick", "full"), default=None, help="restrict to one mode"
+    )
+    for axis in GROUP_AXES:
+        query_parser.add_argument(
+            f"--{axis}",
+            default=None,
+            metavar="VALUE",
+            help=f"group-axis filter: {axis} (switches the trend to group level)",
+        )
+    query_parser.add_argument(
+        "--variance",
+        action="store_true",
+        help="per-cell variance by group, pooled across runs (highest "
+        "rounds-variance first)",
+    )
+    query_parser.add_argument(
+        "--bench",
+        default=None,
+        metavar="NAME",
+        help="bench family to query; with --metric, its trajectory across ingests, "
+        "without, the recorded metric names",
+    )
+    query_parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_store",
+        help="summarize everything ingested (scenarios and bench families)",
+    )
+    query_parser.add_argument(
+        "--json", action="store_true", help="emit the query result as JSON"
+    )
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="serve the results store and live runs over HTTP (JSON + SSE; stdlib only)",
+    )
+    store_option(serve_parser)
+    serve_parser.add_argument(
+        "--runs-dir",
+        type=pathlib.Path,
+        default=DEFAULT_RUNS_DIR,
+        metavar="DIR",
+        help="directory of journaled run dirs to stream at /v1/live "
+        f"(default: {DEFAULT_RUNS_DIR})",
+    )
+    serve_parser.add_argument(
+        "--host", default=None, metavar="ADDR", help="bind address (default: loopback)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=None, metavar="N", help="bind port (default: 8742)"
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log each request to stderr"
     )
     return parser
 
@@ -707,6 +862,15 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
             return EXIT_INTERRUPTED
     if args.fabric_command == "status":
         snapshot = fabric_status(args.run_dir)
+        if args.store is not None:
+            from repro.store.store import ResultsStore
+
+            with ResultsStore(args.store) as store:
+                snapshot_id = store.record_snapshot(snapshot)
+            # stderr so `--json` stdout stays pure JSON for pipelines
+            print(
+                f"snapshot {snapshot_id} recorded in {args.store}", file=sys.stderr
+            )
         if args.json:
             print(json.dumps(snapshot, indent=2, sort_keys=True))
         else:
@@ -788,6 +952,200 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_ts(timestamp: float) -> str:
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(timestamp))
+
+
+def _short_commit(commit: str) -> str:
+    return commit[:12] if commit else "(no commit)"
+
+
+def _ingest_summary(reports) -> str:
+    counts = Counter(report.action for report in reports)
+    parts = [
+        f"{counts[key]} {key}"
+        for key in ("inserted", "replaced", "unchanged", "skipped")
+        if counts[key]
+    ]
+    return ", ".join(parts) if parts else "nothing ingested"
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store.store import ResultsStore
+
+    if args.store_command != "init":
+        raise AssertionError(f"unhandled store command {args.store_command!r}")
+    from repro.store.schema import SCHEMA_VERSION
+
+    with ResultsStore(args.store) as store:
+        print(f"results store {store.path} (schema version {SCHEMA_VERSION})")
+        if args.bootstrap:
+            reports = store.bootstrap(args.root)
+            for report in reports:
+                if report.action != "unchanged":
+                    print(f"  {report.action} {report.kind}: {report.path}")
+            print(f"bootstrap: {_ingest_summary(reports)}")
+    return EXIT_OK
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.store.store import ResultsStore
+
+    reports = []
+    with ResultsStore(args.store) as store:
+        for source in args.sources:
+            reports.extend(store.ingest(source))
+    if args.json:
+        print(json.dumps([dataclasses.asdict(report) for report in reports], indent=2))
+    else:
+        for report in reports:
+            detail = f" ({report.detail})" if report.detail else ""
+            print(f"{report.action} {report.kind}: {report.path}{detail}")
+        print(_ingest_summary(reports))
+    return EXIT_OK
+
+
+def _query_axes(args: argparse.Namespace) -> dict:
+    axes = {}
+    for axis in GROUP_AXES:
+        value = getattr(args, axis)
+        if value is None:
+            continue
+        if axis == "f":
+            try:
+                value = int(value)
+            except ValueError:
+                raise ReproError(f"--f must be an integer, got {value!r}") from None
+        axes[axis] = value
+    return axes
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.store.store import ResultsStore
+
+    selected = [
+        flag
+        for flag, on in (
+            ("--scenario", args.scenario is not None),
+            ("--bench", args.bench is not None),
+            ("--list", args.list_store),
+        )
+        if on
+    ]
+    if len(selected) != 1:
+        raise ReproError(
+            "pass exactly one of --scenario NAME, --bench NAME or --list "
+            f"(got {', '.join(selected) if selected else 'none'})"
+        )
+    axes = _query_axes(args)
+    with ResultsStore(args.store, readonly=True) as store:
+        if args.list_store:
+            payload = {"scenarios": store.scenarios(), "benches": store.bench_names()}
+            if args.json:
+                print(json.dumps(payload, indent=2, sort_keys=True))
+                return EXIT_OK
+            rows = [
+                [s["scenario"], s["modes"], s["runs"], s["cells"], s["commits"],
+                 _format_ts(s["last_ingested"])]
+                for s in payload["scenarios"]
+            ]
+            print(format_table(
+                ["scenario", "modes", "runs", "cells", "commits", "last ingested"], rows
+            ))
+            if payload["benches"]:
+                print()
+                rows = [
+                    [b["name"], b["records"], _format_ts(b["last_ingested"])]
+                    for b in payload["benches"]
+                ]
+                print(format_table(["bench", "records", "last ingested"], rows))
+            return EXIT_OK
+        if args.bench is not None:
+            if axes or args.variance:
+                raise ReproError("--bench does not take group axes or --variance")
+            if args.metric is None:
+                metrics = store.bench_metrics(args.bench)
+                if args.json:
+                    print(json.dumps({"name": args.bench, "metrics": metrics}, indent=2))
+                else:
+                    for metric in metrics:
+                        print(metric)
+                return EXIT_OK
+            points = store.bench_trend(args.bench, args.metric)
+            if args.json:
+                print(json.dumps(
+                    [dataclasses.asdict(point) for point in points], indent=2
+                ))
+                return EXIT_OK
+            rows = [
+                [_short_commit(p.git_commit), f"{p.value:g}", _format_ts(p.ingested_at)]
+                for p in points
+            ]
+            print(format_table(["commit", args.metric, "ingested"], rows))
+            return EXIT_OK
+        if args.variance:
+            groups = store.group_variance(args.scenario, mode=args.mode, **axes)
+            if args.json:
+                print(json.dumps(
+                    [dict(dataclasses.asdict(g), group=g.group) for g in groups],
+                    indent=2, sort_keys=True,
+                ))
+                return EXIT_OK
+            rows = [
+                [g.group, g.cells, g.runs_pooled, f"{g.success_rate:.4f}",
+                 f"{g.success_variance:.4f}", f"{g.mean_rounds:.2f}",
+                 f"{g.rounds_variance:.3f}"]
+                for g in groups
+            ]
+            print(format_table(
+                ["group", "cells", "runs", "success", "p(1-p)", "rounds", "var(rounds)"],
+                rows,
+            ))
+            return EXIT_OK
+        metric = args.metric or "success_rate"
+        points = store.trend(args.scenario, metric, mode=args.mode, **axes)
+        if args.json:
+            print(json.dumps([dataclasses.asdict(point) for point in points], indent=2))
+            return EXIT_OK
+        headers = ["commit", "mode", metric, "cells", "source", "ingested"]
+        rows = []
+        for point in points:
+            dirty = "+dirty" if point.git_dirty else ""
+            row = [
+                _short_commit(point.git_commit) + dirty,
+                point.mode,
+                f"{point.value:g}",
+                point.cells,
+                point.source_kind + ("" if point.sealed else " (unsealed)"),
+                _format_ts(point.ingested_at),
+            ]
+            if point.group is not None:
+                row.insert(1, point.group)
+            rows.append(row)
+        if points and points[0].group is not None:
+            headers.insert(1, "group")
+        print(format_table(headers, rows))
+        if not points:
+            print(f"(no ingested runs match scenario {args.scenario!r})")
+    return EXIT_OK
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.store.serve import ServeConfig, serve_forever
+
+    config = ServeConfig(
+        store_path=args.store,
+        runs_dir=args.runs_dir,
+        quiet=not args.verbose,
+    )
+    if args.host is not None:
+        config = dataclasses.replace(config, host=args.host)
+    if args.port is not None:
+        config = dataclasses.replace(config, port=args.port)
+    serve_forever(config)
+    return EXIT_OK
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     report = compare_files(
         args.baseline,
@@ -814,9 +1172,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_profile(args)
         if args.command == "fabric":
             return _cmd_fabric(args)
+        if args.command == "store":
+            return _cmd_store(args)
+        if args.command == "ingest":
+            return _cmd_ingest(args)
+        if args.command == "query":
+            return _cmd_query(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR
+    except BrokenPipeError:
+        # stdout was piped into something that stopped reading (query | head);
+        # detach so the interpreter's shutdown flush cannot raise again
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return EXIT_OK
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

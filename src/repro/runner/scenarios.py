@@ -16,23 +16,21 @@ the format) and every string axis resolves through the typed registries in
 *by name inside the worker process*, so cells travel between processes as
 small tuples of primitives and a sharded run needs nothing unpicklable.
 
-This module also keeps the pre-registry call surface alive as thin
-deprecation shims (:func:`build_topology`, :func:`resolve_placement` and the
-``TOPOLOGY_FAMILIES`` / ``BEHAVIOR_FACTORIES`` / ``SYNC_BYZANTINE_VALUES``
-mapping views).  New code should use the registries — preferably through
-:mod:`repro.api` — instead; ``src/repro`` itself no longer calls the shims
-(CI greps to keep it that way).
+The pre-registry call surface (``build_topology``, ``resolve_placement``
+and the ``TOPOLOGY_FAMILIES`` / ``BEHAVIOR_FACTORIES`` /
+``SYNC_BYZANTINE_VALUES`` mapping views) lived here as deprecation shims
+through api v1; they are gone — use the registries, preferably through
+:mod:`repro.api` (CI greps ``src/repro`` to keep duplicate loader paths
+from creeping back).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Hashable, Iterator, List, Mapping, Optional
+from typing import Dict, List
 
 from repro.exceptions import ExperimentError
-from repro.graphs.digraph import DiGraph
-from repro.registry import ALGORITHMS, BEHAVIORS, TOPOLOGIES
-from repro.runner import algorithms as _algorithms
-from repro.runner.harness import NOT_APPLICABLE, CellResult, GridSpec, SweepCell, TopologySpec
+from repro.registry import ALGORITHMS
+from repro.runner.harness import NOT_APPLICABLE, CellResult, GridSpec, SweepCell
 from repro.runner.scenario_files import Scenario, load_builtin_scenarios
 from repro.runner.worker_cache import (
     WORKER_CACHE_LIMIT,
@@ -42,8 +40,6 @@ from repro.runner.worker_cache import (
     warm_worker_caches,
     worker_cache_stats,
 )
-
-NodeId = Hashable
 
 #: Algorithm names by kind, derived from the registry (stays in sync with
 #: whatever is registered at import time; third-party registrations made
@@ -85,84 +81,18 @@ def get_scenario(name: str) -> Scenario:
         raise ExperimentError(f"unknown scenario {name!r} (known: {known})") from None
 
 
-# ----------------------------------------------------------------------
-# deprecated shims (pre-registry API; kept for external callers)
-# ----------------------------------------------------------------------
-def build_topology(spec: TopologySpec) -> DiGraph:
-    """Deprecated: use ``spec.build()`` (the TOPOLOGIES registry)."""
-    return spec.build()
-
-
-def resolve_placement(name: str, graph: DiGraph, f: int, seed: int) -> FrozenSet[NodeId]:
-    """Deprecated: use :data:`repro.registry.PLACEMENTS` /
-    :func:`repro.runner.algorithms.resolve_placement`."""
-    return _algorithms.resolve_placement(name, graph, f, seed)
-
-
-class _RegistryView(Mapping):
-    """Read-only mapping view over a registry (deprecated dict shims)."""
-
-    def __init__(self, registry, resolve: Callable, member: Callable = lambda entry: True):
-        self._registry = registry
-        self._resolve = resolve
-        self._member = member
-
-    def _names(self) -> List[str]:
-        return [entry.name for entry in self._registry.entries() if self._member(entry)]
-
-    def __getitem__(self, name: str):
-        if name not in self._registry:
-            raise KeyError(name)
-        entry = self._registry.entry(name)
-        if not self._member(entry):
-            raise KeyError(name)
-        return self._resolve(entry)
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(self._names())
-
-    def __len__(self) -> int:
-        return len(self._names())
-
-
-#: Deprecated: use :data:`repro.registry.TOPOLOGIES`.
-TOPOLOGY_FAMILIES: Mapping[str, Callable[..., DiGraph]] = _RegistryView(
-    TOPOLOGIES, lambda entry: entry.obj
-)
-
-#: Deprecated: use :data:`repro.registry.BEHAVIORS` (factories accept their
-#: registered parameters; called with none they build the default variant).
-BEHAVIOR_FACTORIES: Mapping[str, Callable[[], object]] = _RegistryView(
-    BEHAVIORS, lambda entry: entry.obj, lambda entry: entry.metadata.get("min_params", 0) == 0
-)
-
-#: Deprecated: use :func:`repro.runner.algorithms.resolve_sync_behavior`.
-#: Maps each behaviour with a synchronous-model equivalent to its default
-#: value-reporting function (``None`` = the faulty nodes behave honestly).
-SYNC_BYZANTINE_VALUES: Mapping[str, Optional[Callable]] = _RegistryView(
-    BEHAVIORS,
-    lambda entry: entry.metadata["sync"](),
-    lambda entry: "sync" in entry.metadata and entry.metadata.get("min_params", 0) == 0,
-)
-
-
 __all__ = [
-    "BEHAVIOR_FACTORIES",
     "CHECK_ALGORITHMS",
     "CONSENSUS_ALGORITHMS",
     "NOT_APPLICABLE",
     "SCENARIOS",
-    "SYNC_BYZANTINE_VALUES",
     "Scenario",
-    "TOPOLOGY_FAMILIES",
     "WORKER_CACHE_LIMIT",
-    "build_topology",
     "cached_graph",
     "cached_topology_knowledge",
     "clear_worker_caches",
     "warm_worker_caches",
     "get_scenario",
-    "resolve_placement",
     "run_cell",
     "scenario_names",
     "worker_cache_stats",

@@ -1,0 +1,62 @@
+"""Cross-run results store and live serving layer.
+
+Two modules:
+
+:mod:`repro.store.store`
+    :class:`ResultsStore` — the sqlite-backed store: idempotent ingestion
+    of journals, schema-v1 artifacts and ``BENCH_*.json`` records, plus
+    the typed query API (trends, variance, bench trajectories).
+:mod:`repro.store.serve`
+    The stdlib-only HTTP layer behind ``python -m repro.runner serve``:
+    JSON query endpoints over a store plus an SSE endpoint streaming live
+    progress of in-flight journaled/fabric runs.
+
+The sqlite schema and migration ladder live in :mod:`repro.store.schema`;
+``docs/store-schema.md`` is the normative schema document.
+"""
+
+from __future__ import annotations
+
+from repro.store.schema import SCHEMA_VERSION, migrate, schema_version
+from repro.store.serve import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    ServeConfig,
+    journal_record_to_event,
+    make_server,
+    serve_forever,
+)
+from repro.store.store import (
+    DEFAULT_STORE_PATH,
+    GROUP_AXES,
+    GROUP_METRICS,
+    RUN_METRICS,
+    BenchPoint,
+    GroupVariance,
+    IngestReport,
+    ResultsStore,
+    TrendPoint,
+    flatten_metrics,
+)
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DEFAULT_STORE_PATH",
+    "GROUP_AXES",
+    "GROUP_METRICS",
+    "RUN_METRICS",
+    "SCHEMA_VERSION",
+    "BenchPoint",
+    "GroupVariance",
+    "IngestReport",
+    "ResultsStore",
+    "ServeConfig",
+    "TrendPoint",
+    "flatten_metrics",
+    "journal_record_to_event",
+    "make_server",
+    "migrate",
+    "schema_version",
+    "serve_forever",
+]

@@ -1,0 +1,178 @@
+"""The results-store sqlite schema and its migration ladder.
+
+``docs/store-schema.md`` is the normative statement of this schema — the
+DDL here and that document are kept in lockstep (tests cross-check the
+table list).  The store tracks its schema version in sqlite's
+``PRAGMA user_version``; :func:`migrate` applies every migration past the
+database's current version, in order, each inside one transaction.  Opening
+a database *newer* than this library understands raises
+:class:`~repro.exceptions.StoreError` rather than guessing.
+
+Version history
+---------------
+1
+    Initial schema: ``runs`` (one row per ingested sweep run, unique on
+    ``spec_hash × scenario × git_commit × mode``), ``run_groups`` and
+    ``run_cells`` (the denormalized aggregates and per-cell records queries
+    aggregate over), ``benches`` + ``bench_metrics`` (BENCH_*.json files
+    flattened to dotted numeric metrics).
+2
+    ``snapshots`` — point-in-time fabric/status observations of live run
+    directories (``fabric status --store`` appends here; the serving layer
+    reads them back out).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.exceptions import StoreError
+
+#: Schema version a freshly migrated store reports (``PRAGMA user_version``).
+SCHEMA_VERSION = 2
+
+_DDL_V1 = """
+CREATE TABLE runs (
+    id           INTEGER PRIMARY KEY,
+    scenario     TEXT NOT NULL,
+    mode         TEXT NOT NULL CHECK (mode IN ('quick', 'full')),
+    spec_hash    TEXT NOT NULL,
+    git_commit   TEXT NOT NULL DEFAULT '',
+    git_dirty    INTEGER,
+    source_kind  TEXT NOT NULL CHECK (source_kind IN ('artifact', 'journal')),
+    source_path  TEXT,
+    digest       TEXT NOT NULL,
+    ingested_at  REAL NOT NULL,
+    sealed       INTEGER NOT NULL DEFAULT 1,
+    seal_reason  TEXT,
+    cells        INTEGER NOT NULL,
+    successes    INTEGER NOT NULL,
+    success_rate REAL NOT NULL,
+    mean_rounds  REAL NOT NULL,
+    environment  TEXT,
+    spec         TEXT NOT NULL,
+    UNIQUE (spec_hash, scenario, git_commit, mode)
+);
+
+CREATE TABLE run_groups (
+    run_id       INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    algorithm    TEXT NOT NULL,
+    topology     TEXT NOT NULL,
+    f            INTEGER NOT NULL,
+    behavior     TEXT NOT NULL,
+    placement    TEXT NOT NULL,
+    faults       TEXT NOT NULL DEFAULT 'none',
+    runs         INTEGER NOT NULL,
+    successes    INTEGER NOT NULL,
+    success_rate REAL NOT NULL,
+    mean_rounds  REAL NOT NULL,
+    mean_messages REAL NOT NULL,
+    worst_range  REAL,
+    PRIMARY KEY (run_id, algorithm, topology, f, behavior, placement, faults)
+);
+
+CREATE TABLE run_cells (
+    run_id       INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    idx          INTEGER NOT NULL,
+    algorithm    TEXT NOT NULL,
+    topology     TEXT NOT NULL,
+    f            INTEGER NOT NULL,
+    behavior     TEXT NOT NULL,
+    placement    TEXT NOT NULL,
+    faults       TEXT NOT NULL DEFAULT 'none',
+    seed         INTEGER NOT NULL,
+    success      INTEGER NOT NULL,
+    rounds       INTEGER NOT NULL,
+    messages     INTEGER NOT NULL,
+    output_range REAL,
+    PRIMARY KEY (run_id, idx)
+);
+
+CREATE TABLE benches (
+    id           INTEGER PRIMARY KEY,
+    name         TEXT NOT NULL,
+    digest       TEXT NOT NULL,
+    git_commit   TEXT NOT NULL DEFAULT '',
+    source_path  TEXT,
+    ingested_at  REAL NOT NULL,
+    payload      TEXT NOT NULL,
+    UNIQUE (name, digest)
+);
+
+CREATE TABLE bench_metrics (
+    bench_id     INTEGER NOT NULL REFERENCES benches(id) ON DELETE CASCADE,
+    metric       TEXT NOT NULL,
+    value        REAL NOT NULL,
+    PRIMARY KEY (bench_id, metric)
+);
+
+CREATE INDEX idx_runs_scenario ON runs(scenario, mode, ingested_at);
+CREATE INDEX idx_run_groups_axes ON run_groups(algorithm, topology, f);
+CREATE INDEX idx_bench_metrics ON bench_metrics(metric);
+"""
+
+_DDL_V2 = """
+CREATE TABLE snapshots (
+    id           INTEGER PRIMARY KEY,
+    run_dir      TEXT NOT NULL,
+    scenario     TEXT,
+    mode         TEXT,
+    spec_hash    TEXT,
+    cells        INTEGER,
+    total        INTEGER,
+    sealed       INTEGER,
+    seal_reason  TEXT,
+    recorded_at  REAL NOT NULL,
+    payload      TEXT NOT NULL
+);
+
+CREATE INDEX idx_snapshots_scenario ON snapshots(scenario, recorded_at);
+"""
+
+#: Ordered migration ladder: ``version -> DDL applied to reach it``.  Append
+#: only — never edit a shipped entry; an existing database replays exactly
+#: the steps past its recorded version.
+MIGRATIONS = {
+    1: _DDL_V1,
+    2: _DDL_V2,
+}
+
+
+def schema_version(conn: sqlite3.Connection) -> int:
+    """The schema version recorded in the database (0 = empty file)."""
+    return int(conn.execute("PRAGMA user_version").fetchone()[0])
+
+
+def migrate(conn: sqlite3.Connection) -> int:
+    """Bring ``conn`` up to :data:`SCHEMA_VERSION`; returns the new version.
+
+    Each pending step runs inside its own transaction, so an interrupted
+    migration leaves the database at the last completed version — never
+    half-migrated.  A database from a *newer* library version is refused.
+    """
+    current = schema_version(conn)
+    if current > SCHEMA_VERSION:
+        raise StoreError(
+            f"results store was written by a newer schema (version {current}, "
+            f"this library supports up to {SCHEMA_VERSION}); upgrade the library "
+            "or point at a different --store file"
+        )
+    for version in sorted(MIGRATIONS):
+        if version <= current:
+            continue
+        with conn:  # one transaction per step
+            conn.executescript(MIGRATIONS[version])
+            conn.execute(f"PRAGMA user_version = {version}")
+    return schema_version(conn)
+
+
+def table_names(conn: sqlite3.Connection) -> list:
+    """Sorted user-table names (the schema doc's conformance surface)."""
+    rows = conn.execute(
+        "SELECT name FROM sqlite_master WHERE type = 'table' "
+        "AND name NOT LIKE 'sqlite_%' ORDER BY name"
+    ).fetchall()
+    return [row[0] for row in rows]
+
+
+__all__ = ["MIGRATIONS", "SCHEMA_VERSION", "migrate", "schema_version", "table_names"]

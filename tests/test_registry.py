@@ -55,13 +55,7 @@ from repro.runner.scenario_files import (
     load_scenario_text,
     validate_builtin_scenarios,
 )
-from repro.runner.scenarios import (
-    BEHAVIOR_FACTORIES,
-    SYNC_BYZANTINE_VALUES,
-    TOPOLOGY_FAMILIES,
-    build_topology,
-    resolve_placement,
-)
+from repro.runner import scenarios as scenarios_module
 
 
 # ----------------------------------------------------------------------
@@ -498,40 +492,35 @@ class TestArtifactIdentity:
 
 
 # ----------------------------------------------------------------------
-# deprecated shims (the pre-registry surface must keep working)
+# the pre-registry shim surface is gone; the registries cover it
 # ----------------------------------------------------------------------
-class TestDeprecatedShims:
-    def test_build_topology_shim(self):
-        graph = build_topology(TopologySpec.make("clique", n=4))
+class TestShimSurfaceCollapsed:
+    def test_scenarios_no_longer_carries_the_shims(self):
+        # the duplicate loader paths were collapsed after api v2; the names
+        # must not quietly come back alongside scenario_files.py
+        for name in (
+            "build_topology",
+            "resolve_placement",
+            "TOPOLOGY_FAMILIES",
+            "BEHAVIOR_FACTORIES",
+            "SYNC_BYZANTINE_VALUES",
+        ):
+            assert not hasattr(scenarios_module, name)
+            assert name not in scenarios_module.__all__
+
+    def test_registries_cover_the_former_topology_view(self):
+        assert "clique" in TOPOLOGIES
+        graph = TopologySpec.make("clique", n=4).build()
         assert graph.num_nodes == 4
         with pytest.raises(ExperimentError):
-            build_topology(TopologySpec.make("not-a-family"))
+            TopologySpec.make("not-a-family").build()
 
-    def test_resolve_placement_shim(self):
-        graph = TopologySpec.make("clique", n=4).build()
-        assert resolve_placement("none", graph, 1, seed=1) == frozenset()
-        assert resolve_placement("last", graph, 1, seed=1) == frozenset({3})
-        with pytest.raises(ExperimentError):
-            resolve_placement("nope", graph, 1, seed=1)
-
-    def test_topology_families_view(self):
-        assert "clique" in TOPOLOGY_FAMILIES
-        assert TOPOLOGY_FAMILIES["clique"](4).num_nodes == 4
-        assert set(TOPOLOGY_FAMILIES) == set(TOPOLOGIES.names())
-        with pytest.raises(KeyError):
-            TOPOLOGY_FAMILIES["nope"]
-
-    def test_behavior_factories_view(self):
-        behavior = BEHAVIOR_FACTORIES["fixed-high"]()
+    def test_registries_cover_the_former_behavior_views(self):
+        behavior = BEHAVIORS.get("fixed-high")()
         assert behavior.value == 1e6
-        assert "honest" in BEHAVIOR_FACTORIES
-        # parametrized-only entries (no default variant) are not listed
-        assert "fixed" not in BEHAVIOR_FACTORIES
-
-    def test_sync_byzantine_values_view(self):
-        assert SYNC_BYZANTINE_VALUES["honest"] is None
-        assert SYNC_BYZANTINE_VALUES["fixed-high"](0, 0, 1, 3.0) == 1e6
-        assert SYNC_BYZANTINE_VALUES["offset"](0, 0, 1, 3.0) == 28.0
-        assert "crash" not in SYNC_BYZANTINE_VALUES
-        with pytest.raises(KeyError):
-            SYNC_BYZANTINE_VALUES["crash"]
+        assert "honest" in BEHAVIORS
+        assert resolve_sync_behavior("honest") is None
+        assert resolve_sync_behavior("fixed-high")(0, 0, 1, 3.0) == 1e6
+        assert resolve_sync_behavior("offset")(0, 0, 1, 3.0) == 28.0
+        with pytest.raises(ExperimentError):
+            resolve_sync_behavior("crash")
