@@ -1,0 +1,187 @@
+"""Phase-explorer probe — what the topology zoo and the adaptive loop cost.
+
+Two claims ride in ``benchmarks/results/BENCH_phase.json`` and are gated
+by the CI ``perf-smoke`` job:
+
+* **Generator throughput** — the zoo families (Barabási–Albert,
+  Watts–Strogatz, configuration model, stochastic Kronecker) must build
+  fast enough that graph construction stays an afterthought inside phase
+  sweeps (hundreds of graphs per second at sweep-typical sizes; the gate
+  is a conservative floor).
+* **Adaptive savings** — :func:`repro.phase.refine_phase` on a cheap
+  check-only density grid must reach its target knob resolution inside
+  the transition band while spending **at most 60 %** of the uniform
+  budget (every knob step at the resolution, sampled at band depth), and
+  concentrating at least 2x the uniform per-point seed share in the band.
+
+Everything is measured best-of-:data:`REPEATS` so one scheduling hiccup
+cannot poison the committed claim.  The refinement probe is deterministic
+(derived cell seeds), so its curve numbers are stable across hosts.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Dict
+
+import pytest
+
+from repro.graphs.generators import (
+    barabasi_albert_digraph,
+    configuration_model_digraph,
+    stochastic_kronecker_digraph,
+    watts_strogatz_bidirected,
+    watts_strogatz_digraph,
+)
+from repro.phase import curve_points, refine_phase
+from repro.runner.harness import GridSpec, TopologySpec
+from repro.runner.scenario_files import Scenario
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Measurement repetitions per probe; the best (lowest seconds) run is kept.
+REPEATS = 3
+
+#: Graphs built per generator per repetition (sweep-typical sizes).
+BUILD_ITERATIONS = 40
+
+GENERATORS = {
+    "barabasi-albert": lambda seed: barabasi_albert_digraph(48, 3, seed=seed),
+    "watts-strogatz": lambda seed: watts_strogatz_digraph(48, 6, 0.3, seed=seed),
+    "watts-strogatz-bidirected": lambda seed: watts_strogatz_bidirected(
+        48, 6, 0.3, seed=seed
+    ),
+    "configuration-model": lambda seed: configuration_model_digraph(
+        [3] * 48, [3] * 48, seed=seed
+    ),
+    "stochastic-kronecker": lambda seed: stochastic_kronecker_digraph(6, seed=seed),
+}
+
+
+def _generator_probe() -> Dict[str, object]:
+    families: Dict[str, object] = {}
+    slowest = None
+    for name, build in GENERATORS.items():
+        best_seconds = float("inf")
+        for _repeat in range(REPEATS):
+            start = time.perf_counter()
+            for seed in range(BUILD_ITERATIONS):
+                build(seed)
+            best_seconds = min(best_seconds, time.perf_counter() - start)
+        per_second = round(BUILD_ITERATIONS / best_seconds, 1)
+        families[name] = {
+            "seconds": round(best_seconds, 4),
+            "graphs_per_second": per_second,
+        }
+        if slowest is None or per_second < slowest:
+            slowest = per_second
+    return {
+        "iterations": BUILD_ITERATIONS,
+        "families": families,
+        "slowest_graphs_per_second": slowest,
+    }
+
+
+def _refine_probe() -> Dict[str, object]:
+    grid = GridSpec(
+        name="bench-phase-refine",
+        algorithms=("check-reach",),
+        topologies=tuple(
+            TopologySpec.make("random-digraph", n=7, p=p, seed="cell")
+            for p in (0.1, 0.3, 0.5, 0.7, 0.9)
+        ),
+        f_values=(1,),
+        behaviors=("equivocate",),
+        placements=("random",),
+        seeds=(1, 2, 3, 4),
+        rounds=12,
+    )
+    scenario = Scenario(
+        name=grid.name, description="", artefact="", spec=grid, quick=grid
+    )
+    resolution = 0.05
+    best_seconds = float("inf")
+    refinement = None
+    for _repeat in range(REPEATS):
+        start = time.perf_counter()
+        refinement = refine_phase(
+            scenario,
+            quick=True,
+            budget_cells=200,
+            resolution=resolution,
+            seed_boost=6,
+        )
+        best_seconds = min(best_seconds, time.perf_counter() - start)
+    points = curve_points(refinement.curve)
+    rows: Dict[object, list] = {}
+    for point in points:
+        rows.setdefault((point.n, point.f), []).append(point)
+    worst_band_gap = 0.0
+    for row in rows.values():
+        row.sort(key=lambda point: point.knob)
+        for left, right in zip(row, row[1:]):
+            if left.in_band or right.in_band:
+                worst_band_gap = max(worst_band_gap, right.knob - left.knob)
+    spent = refinement.spent_cells
+    uniform = refinement.uniform_cells
+    return {
+        "seconds": round(best_seconds, 4),
+        "resolution": resolution,
+        "worst_band_gap": round(worst_band_gap, 6),
+        "resolution_reached": worst_band_gap <= resolution + 1e-9,
+        "spent_cells": spent,
+        "uniform_cells": uniform,
+        "budget_ratio": round(spent / uniform, 4),
+        "concentration_ratio": (
+            None
+            if refinement.concentration_ratio is None
+            else round(refinement.concentration_ratio, 3)
+        ),
+        "rounds": len(refinement.rounds),
+    }
+
+
+@pytest.mark.benchmark(group="phase")
+def test_phase_generator_and_refinement_probe(benchmark, write_result, results_dir):
+    records: Dict[str, Dict[str, object]] = {}
+
+    def run_all():
+        records["generator_build"] = _generator_probe()
+        records["refinement"] = _refine_probe()
+        return records
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    payload = {
+        "schema": 1,
+        "repeats": REPEATS,
+        "generator_build": records["generator_build"],
+        "refinement": records["refinement"],
+        "claim": (
+            "zoo generators build >= 50 graphs/s at sweep-typical sizes, and "
+            "adaptive refinement reaches its target band resolution at <= 60% "
+            "of the uniform seed budget with >= 2x band concentration"
+        ),
+    }
+    (results_dir / "BENCH_phase.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    build = records["generator_build"]
+    refine = records["refinement"]
+    lines = [
+        f"slowest generator: {build['slowest_graphs_per_second']} graphs/s",
+        f"refinement: spent {refine['spent_cells']} of uniform "
+        f"{refine['uniform_cells']} cells (ratio {refine['budget_ratio']}), "
+        f"band gap {refine['worst_band_gap']} at resolution {refine['resolution']}, "
+        f"concentration {refine['concentration_ratio']}x in {refine['rounds']} rounds",
+    ]
+    write_result("phase_probe", "\n".join(lines))
+
+    assert build["slowest_graphs_per_second"] >= 50.0
+    assert refine["resolution_reached"]
+    assert refine["budget_ratio"] <= 0.6
+    assert refine["concentration_ratio"] is not None
+    assert refine["concentration_ratio"] >= 2.0

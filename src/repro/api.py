@@ -8,7 +8,7 @@ resumable :class:`ExperimentSession`\\ s; every v1 name remains importable
 (deprecated names emit a :class:`DeprecationWarning` and are listed in
 :data:`DEPRECATED_V1_NAMES` — migration table in ``EXPERIMENTS.md``).
 
-The surface has five layers:
+The surface is layered:
 
 **Registries** (:class:`Registry` and the seven instances) — register custom
 topology families, Byzantine behaviours, fault placements, algorithms,
@@ -68,6 +68,17 @@ exposes the same queries over HTTP plus SSE live streams
         for point in store.trend("figure1b", "success_rate"):
             print(point.git_commit[:12], point.value)
 
+**The phase-transition explorer** (:mod:`repro.phase`) — :func:`run_phase`
+sweeps one random-family knob (``p``, ``beta``, ``m``) into a
+schema-versioned PhaseCurve artifact (``docs/phase-curves.md``), and
+:func:`refine_phase` adaptively bisects the knob axis / boosts seed counts
+where the store's pooled variance marks the transition band
+(:data:`PHASE_BAND_VARIANCE`), under a fixed cell budget::
+
+    refinement = refine_phase(get_scenario("phase_density"), quick=True,
+                              budget_cells=96, resolution=0.05)
+    write_phase_curve("phase_density.curve.json", refinement.curve)
+
 **The sweep fabric** (distributed execution over a shared directory) —
 :class:`FabricCoordinator` publishes cell-range leases over a run
 directory, merges per-worker shards into the canonical journal with epoch
@@ -89,6 +100,7 @@ from repro import quick_consensus
 from repro.algorithms.base import ConsensusConfig
 from repro.exceptions import (
     JournalError,
+    PhaseError,
     ReproError,
     ScenarioFileError,
     StoreError,
@@ -172,6 +184,23 @@ from repro.runner.session import (
     make_stop_policy,
     run_session,
 )
+from repro.phase import (
+    PHASE_BAND_VARIANCE,
+    PHASE_CURVE_KIND,
+    PHASE_SCHEMA_VERSION,
+    PhasePoint,
+    PhaseRefinement,
+    PhaseRun,
+    curve_from_result,
+    load_phase_curve,
+    phase_knob,
+    refine_phase,
+    render_curve,
+    run_phase,
+    validate_phase_curve,
+    validate_phase_spec,
+    write_phase_curve,
+)
 from repro.store import (
     BenchPoint,
     GroupVariance,
@@ -230,6 +259,7 @@ __all__ = [
     "parse_plugin_spec",
     # errors
     "JournalError",
+    "PhaseError",
     "ReproError",
     "ScenarioFileError",
     "StoreError",
@@ -277,6 +307,22 @@ __all__ = [
     "read_lease",
     "render_fabric_status",
     "replay_fence_log",
+    # the phase-transition explorer (schema in docs/phase-curves.md)
+    "PHASE_BAND_VARIANCE",
+    "PHASE_CURVE_KIND",
+    "PHASE_SCHEMA_VERSION",
+    "PhasePoint",
+    "PhaseRefinement",
+    "PhaseRun",
+    "curve_from_result",
+    "load_phase_curve",
+    "phase_knob",
+    "refine_phase",
+    "render_curve",
+    "run_phase",
+    "validate_phase_curve",
+    "validate_phase_spec",
+    "write_phase_curve",
     # the results store + serving layer (schema in docs/store-schema.md)
     "BenchPoint",
     "GroupVariance",

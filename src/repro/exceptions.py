@@ -138,3 +138,10 @@ class StoreError(ExperimentError):
     """Raised by the cross-run results store (:mod:`repro.store`) for
     unreadable databases, unsupported schema versions, unrecognized ingest
     sources and malformed queries."""
+
+
+class PhaseError(ExperimentError):
+    """Raised by the phase-transition explorer (:mod:`repro.phase`) for
+    grids that do not describe a phase sweep (no single varying knob, mixed
+    topology families, several algorithms of one kind) and for missing or
+    malformed PhaseCurve artifacts."""

@@ -26,12 +26,14 @@ Public surface
 from repro.graphs.bitset import BitsetIndex, PathCodec, iter_bits, popcount
 from repro.graphs.digraph import DiGraph
 from repro.graphs.generators import (
+    barabasi_albert_digraph,
     bidirected_complete,
     bidirected_cycle,
     bidirected_star,
     bidirected_wheel,
     clique_with_feeders,
     complete_digraph,
+    configuration_model_digraph,
     directed_cycle,
     directed_path,
     directed_sensor_field,
@@ -44,7 +46,10 @@ from repro.graphs.generators import (
     random_k_out_digraph,
     relabel,
     star_out,
+    stochastic_kronecker_digraph,
     two_cliques_bridged,
+    watts_strogatz_bidirected,
+    watts_strogatz_digraph,
 )
 from repro.graphs.flow import (
     find_vertex_disjoint_paths,
@@ -119,9 +124,14 @@ __all__ = [
     "figure_1b",
     "layered_relay_digraph",
     "make_bidirected",
+    "barabasi_albert_digraph",
+    "configuration_model_digraph",
     "random_bidirected_graph",
     "random_digraph",
     "random_k_out_digraph",
+    "stochastic_kronecker_digraph",
+    "watts_strogatz_bidirected",
+    "watts_strogatz_digraph",
     "relabel",
     "star_out",
     "two_cliques_bridged",

@@ -209,6 +209,14 @@ def two_cliques_bridged(
 # ----------------------------------------------------------------------
 # random families
 # ----------------------------------------------------------------------
+def _require(condition: bool, family: str, parameter: str, requirement: str) -> None:
+    """Uniform validation for the random families: every :class:`GraphError`
+    names the family and the offending parameter, so a bad scenario TOML is
+    diagnosable from the message alone."""
+    if not condition:
+        raise GraphError(f"{family}: parameter {parameter!r} {requirement}")
+
+
 def random_digraph(
     n: int, p: float, seed: Optional[int] = None, ensure_connected: bool = False
 ) -> DiGraph:
@@ -218,10 +226,8 @@ def random_digraph(
     the result is strongly connected (useful for consensus workloads where a
     totally disconnected sample would be uninteresting).
     """
-    if n < 1:
-        raise GraphError("n must be positive")
-    if not 0.0 <= p <= 1.0:
-        raise GraphError("p must be within [0, 1]")
+    _require(n >= 1, "random-digraph", "n", f"must be positive, got {n}")
+    _require(0.0 <= p <= 1.0, "random-digraph", "p", f"must be within [0, 1], got {p}")
     rng = random.Random(seed)
     graph = DiGraph(nodes=range(n), name=f"random-digraph-{n}-{p}")
     if ensure_connected and n >= 2:
@@ -236,14 +242,27 @@ def random_digraph(
     return graph
 
 
-def random_bidirected_graph(n: int, p: float, seed: Optional[int] = None) -> DiGraph:
-    """A random undirected graph G(n, p) modelled as a bidirected digraph."""
-    if n < 1:
-        raise GraphError("n must be positive")
-    if not 0.0 <= p <= 1.0:
-        raise GraphError("p must be within [0, 1]")
+def random_bidirected_graph(
+    n: int, p: float, seed: Optional[int] = None, ensure_connected: bool = False
+) -> DiGraph:
+    """A random undirected graph G(n, p) modelled as a bidirected digraph.
+
+    With ``ensure_connected`` a shuffled Hamiltonian cycle of bidirected
+    edges is added first, guaranteeing a connected (hence strongly
+    connected) sample.  The flag defaults off and, when off, leaves the RNG
+    stream untouched, so pre-existing seeded samples are unchanged.
+    """
+    _require(n >= 1, "random-bidirected", "n", f"must be positive, got {n}")
+    _require(0.0 <= p <= 1.0, "random-bidirected", "p", f"must be within [0, 1], got {p}")
     rng = random.Random(seed)
     graph = DiGraph(nodes=range(n), name=f"random-undirected-{n}-{p}")
+    if ensure_connected and n >= 2:
+        order = list(range(n))
+        rng.shuffle(order)
+        for i in range(n - 1):
+            graph.add_bidirectional_edge(order[i], order[i + 1])
+        if n >= 3:
+            graph.add_bidirectional_edge(order[-1], order[0])
     for u in range(n):
         for v in range(u + 1, n):
             if rng.random() < p:
@@ -251,16 +270,308 @@ def random_bidirected_graph(n: int, p: float, seed: Optional[int] = None) -> DiG
     return graph
 
 
-def random_k_out_digraph(n: int, k: int, seed: Optional[int] = None) -> DiGraph:
-    """Each node points at ``k`` distinct random other nodes (a sparse family)."""
-    if k >= n:
-        raise GraphError("k must be smaller than n")
+def random_k_out_digraph(
+    n: int, k: int, seed: Optional[int] = None, ensure_connected: bool = False
+) -> DiGraph:
+    """Each node points at ``k`` distinct random other nodes (a sparse family).
+
+    With ``ensure_connected`` each node's ``k`` targets are forced to include
+    its successor on a shuffled Hamiltonian cycle, so the sample is strongly
+    connected while every out-degree stays exactly ``k``.
+    """
+    _require(n >= 1, "random-k-out", "n", f"must be positive, got {n}")
+    _require(k >= 1, "random-k-out", "k", f"must be positive, got {k}")
+    _require(k < n, "random-k-out", "k", f"must be smaller than n={n}, got {k}")
     rng = random.Random(seed)
     graph = DiGraph(nodes=range(n), name=f"random-{k}-out-{n}")
+    successor = {}
+    if ensure_connected and n >= 2:
+        order = list(range(n))
+        rng.shuffle(order)
+        successor = {order[i]: order[(i + 1) % n] for i in range(n)}
     for u in range(n):
-        targets = rng.sample([v for v in range(n) if v != u], k)
+        if u in successor:
+            others = [v for v in range(n) if v != u and v != successor[u]]
+            targets = [successor[u]] + rng.sample(others, k - 1)
+        else:
+            targets = rng.sample([v for v in range(n) if v != u], k)
         for v in targets:
             graph.add_edge(u, v)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# the topology zoo: seeded scale-free / small-world / prescribed-degree /
+# Kronecker families (ROADMAP's APGL exemplar set)
+# ----------------------------------------------------------------------
+def barabasi_albert_digraph(
+    n: int, m: int, seed: Optional[int] = None, ensure_connected: bool = False
+) -> DiGraph:
+    """A directed Barabási–Albert preferential-attachment graph.
+
+    Nodes arrive one at a time; each newcomer sends ``m`` edges to distinct
+    existing nodes chosen preferentially by total degree (the
+    Batagelj–Brandes repeated-nodes scheme), starting from a bidirected
+    clique on the first ``m + 1`` nodes.  Newcomer edges are *one-way*
+    (newcomer → target), so late arrivals can reach the old core but not
+    vice versa — the asymmetric-transmitter regime the paper's directed
+    conditions are about.  With ``ensure_connected`` a shuffled directed
+    Hamiltonian cycle is added first, making every sample strongly
+    connected.
+    """
+    _require(n >= 2, "barabasi-albert", "n", f"must be at least 2, got {n}")
+    _require(m >= 1, "barabasi-albert", "m", f"must be positive, got {m}")
+    _require(m < n, "barabasi-albert", "m", f"must be smaller than n={n}, got {m}")
+    rng = random.Random(seed)
+    graph = DiGraph(nodes=range(n), name=f"ba-{n}-m{m}")
+    if ensure_connected:
+        order = list(range(n))
+        rng.shuffle(order)
+        for i in range(n):
+            graph.add_edge(order[i], order[(i + 1) % n])
+    core = min(m + 1, n)
+    repeated: List[int] = []  # one entry per degree unit: attachment weights
+    for u in range(core):
+        for v in range(u + 1, core):
+            graph.add_bidirectional_edge(u, v)
+            repeated.extend((u, v))
+    for u in range(core, n):
+        targets: set = set()
+        while len(targets) < m:
+            choice = rng.choice(repeated) if repeated else rng.randrange(u)
+            if choice != u:
+                targets.add(choice)
+        for v in sorted(targets):
+            graph.add_edge(u, v)
+            repeated.extend((u, v))
+    return graph
+
+
+def _watts_strogatz_lattice_pairs(n: int, k: int) -> List:
+    """The ring-lattice edge list (u, u+offset) the WS rewiring starts from."""
+    return [(u, (u + offset) % n) for offset in range(1, k // 2 + 1) for u in range(n)]
+
+
+def _watts_strogatz_pending(n: int, k: int) -> dict:
+    """Per-node sets of lattice targets not yet processed by the rewire loop.
+
+    Rewire choices must exclude these: landing a rewired edge on a later
+    lattice target of the same node would block that lattice edge and
+    silently shrink the degree the family promises.
+    """
+    pending: dict = {u: set() for u in range(n)}
+    for u, v in _watts_strogatz_lattice_pairs(n, k):
+        pending[u].add(v)
+    return pending
+
+
+def _validate_watts_strogatz(family: str, n: int, k: int, beta: float) -> None:
+    _require(n >= 3, family, "n", f"must be at least 3, got {n}")
+    _require(k >= 2, family, "k", f"must be at least 2, got {k}")
+    _require(k % 2 == 0, family, "k", f"must be even, got {k}")
+    _require(k < n, family, "k", f"must be smaller than n={n}, got {k}")
+    _require(0.0 <= beta <= 1.0, family, "beta", f"must be within [0, 1], got {beta}")
+
+
+def watts_strogatz_digraph(
+    n: int, k: int, beta: float, seed: Optional[int] = None, ensure_connected: bool = False
+) -> DiGraph:
+    """A directed Watts–Strogatz small-world graph.
+
+    Starts from a directed ring lattice where every node has out-edges to
+    its ``k / 2`` clockwise neighbours at offsets ``1..k/2`` (``k`` even),
+    then rewires each out-edge independently with probability ``beta`` to a
+    uniform random non-self, non-duplicate target.  Out-degrees stay exactly
+    ``k / 2``; in-degrees spread out as ``beta`` grows.  ``beta = 0`` is the
+    pure lattice, ``beta = 1`` approaches a random ``k/2``-out digraph.
+    With ``ensure_connected`` a shuffled directed Hamiltonian cycle is laid
+    down first (rewiring never removes it).
+    """
+    _validate_watts_strogatz("watts-strogatz", n, k, beta)
+    rng = random.Random(seed)
+    graph = DiGraph(nodes=range(n), name=f"ws-{n}-k{k}-b{beta}")
+    if ensure_connected:
+        order = list(range(n))
+        rng.shuffle(order)
+        for i in range(n):
+            graph.add_edge(order[i], order[(i + 1) % n])
+    pending = _watts_strogatz_pending(n, k)
+    for u, v in _watts_strogatz_lattice_pairs(n, k):
+        pending[u].discard(v)
+        target = v
+        if rng.random() < beta:
+            choices = [
+                w
+                for w in range(n)
+                if w != u and not graph.has_edge(u, w) and w not in pending[u]
+            ]
+            if choices:
+                target = rng.choice(choices)
+        if not graph.has_edge(u, target):
+            graph.add_edge(u, target)
+    return graph
+
+
+def watts_strogatz_bidirected(
+    n: int, k: int, beta: float, seed: Optional[int] = None, ensure_connected: bool = False
+) -> DiGraph:
+    """The classical (undirected) Watts–Strogatz graph as a bidirected digraph.
+
+    The standard construction: a ring lattice where every node is joined to
+    its ``k`` nearest neighbours (``k / 2`` on each side), each lattice edge
+    rewired with probability ``beta`` — so the same rewire semantics as
+    ``networkx.watts_strogatz_graph``.  With ``ensure_connected`` a shuffled
+    bidirected Hamiltonian cycle is laid down first.
+    """
+    _validate_watts_strogatz("watts-strogatz-bidirected", n, k, beta)
+    rng = random.Random(seed)
+    graph = DiGraph(nodes=range(n), name=f"ws-bi-{n}-k{k}-b{beta}")
+    if ensure_connected:
+        order = list(range(n))
+        rng.shuffle(order)
+        for i in range(n):
+            graph.add_bidirectional_edge(order[i], order[(i + 1) % n])
+    pending = _watts_strogatz_pending(n, k)
+    for u, v in _watts_strogatz_lattice_pairs(n, k):
+        pending[u].discard(v)
+        target = v
+        if rng.random() < beta:
+            choices = [
+                w
+                for w in range(n)
+                if w != u and not graph.has_edge(u, w) and w not in pending[u]
+            ]
+            if choices:
+                target = rng.choice(choices)
+        if not graph.has_edge(u, target):
+            graph.add_bidirectional_edge(u, target)
+    return graph
+
+
+def _parse_degree_sequence(family: str, parameter: str, degrees) -> List[int]:
+    """A degree sequence from either a sequence of ints or the ``"2,2,1"``
+    comma-separated form scenario TOMLs use (topology params are scalars)."""
+    if isinstance(degrees, str):
+        try:
+            values = [int(part.strip()) for part in degrees.split(",") if part.strip()]
+        except ValueError:
+            raise GraphError(
+                f"{family}: parameter {parameter!r} must be a comma-separated list "
+                f"of integers, got {degrees!r}"
+            ) from None
+    elif isinstance(degrees, Sequence):
+        values = []
+        for entry in degrees:
+            if isinstance(entry, bool) or not isinstance(entry, int):
+                raise GraphError(
+                    f"{family}: parameter {parameter!r} must hold integers, got {entry!r}"
+                )
+            values.append(entry)
+    else:
+        raise GraphError(
+            f"{family}: parameter {parameter!r} must be a degree sequence "
+            f"(list of ints or comma-separated string), got {degrees!r}"
+        )
+    _require(bool(values), family, parameter, "must be a non-empty degree sequence")
+    for value in values:
+        _require(value >= 0, family, parameter, f"entries must be non-negative, got {value}")
+    return values
+
+
+def configuration_model_digraph(
+    out_degrees, in_degrees, seed: Optional[int] = None, ensure_connected: bool = False
+) -> DiGraph:
+    """A directed configuration-model graph from prescribed degree sequences.
+
+    ``out_degrees[i]`` / ``in_degrees[i]`` prescribe node ``i``'s out- and
+    in-stubs; both sequences accept the comma-separated string form
+    (``"3,3,2,2"``) scenario TOMLs need.  Stubs are shuffled and paired
+    (out-stub → in-stub); self-loops and duplicate pairings are dropped, so
+    realized degrees are *at most* the prescription — the standard
+    simple-graph projection of the configuration model.  With
+    ``ensure_connected`` a shuffled directed Hamiltonian cycle is added
+    on top (realized out-degrees may then exceed the prescription by one).
+    """
+    family = "configuration-model"
+    outs = _parse_degree_sequence(family, "out_degrees", out_degrees)
+    ins = _parse_degree_sequence(family, "in_degrees", in_degrees)
+    _require(
+        len(outs) == len(ins),
+        family,
+        "in_degrees",
+        f"must have the same length as out_degrees ({len(outs)}), got {len(ins)}",
+    )
+    _require(
+        sum(outs) == sum(ins),
+        family,
+        "in_degrees",
+        f"must sum to the out-degree total {sum(outs)}, got {sum(ins)}",
+    )
+    n = len(outs)
+    for name, sequence in (("out_degrees", outs), ("in_degrees", ins)):
+        for value in sequence:
+            _require(value < n, family, name, f"entries must be below n={n}, got {value}")
+    rng = random.Random(seed)
+    graph = DiGraph(nodes=range(n), name=f"config-{n}")
+    if ensure_connected and n >= 2:
+        order = list(range(n))
+        rng.shuffle(order)
+        for i in range(n):
+            graph.add_edge(order[i], order[(i + 1) % n])
+    out_stubs = [u for u, degree in enumerate(outs) for _ in range(degree)]
+    in_stubs = [v for v, degree in enumerate(ins) for _ in range(degree)]
+    rng.shuffle(out_stubs)
+    rng.shuffle(in_stubs)
+    for u, v in zip(out_stubs, in_stubs):
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+def stochastic_kronecker_digraph(
+    k: int,
+    a: float = 0.9,
+    b: float = 0.5,
+    c: float = 0.5,
+    d: float = 0.1,
+    seed: Optional[int] = None,
+    ensure_connected: bool = False,
+) -> DiGraph:
+    """A stochastic Kronecker graph on ``2**k`` nodes.
+
+    The 2×2 initiator ``[[a, b], [c, d]]`` is Kronecker-powered ``k`` times;
+    ordered pair ``(u, v)`` is an edge with probability
+    ``prod_i P[u_i][v_i]`` over the ``k`` bit positions of ``u`` and ``v``
+    (self-loops skipped).  ``a > d`` yields the classical core–periphery
+    shape; ``b != c`` makes the family genuinely directed.  With
+    ``ensure_connected`` a shuffled directed Hamiltonian cycle is added
+    first.
+    """
+    family = "stochastic-kronecker"
+    _require(isinstance(k, int) and not isinstance(k, bool), family, "k", f"must be an integer, got {k!r}")
+    _require(1 <= k <= 10, family, "k", f"must be within [1, 10] (n = 2**k), got {k}")
+    for name, value in (("a", a), ("b", b), ("c", c), ("d", d)):
+        _require(
+            0.0 <= value <= 1.0, family, name, f"must be a probability in [0, 1], got {value}"
+        )
+    rng = random.Random(seed)
+    n = 2 ** k
+    initiator = ((a, b), (c, d))
+    graph = DiGraph(nodes=range(n), name=f"kron-{k}-{a}-{b}-{c}-{d}")
+    if ensure_connected:
+        order = list(range(n))
+        rng.shuffle(order)
+        for i in range(n):
+            graph.add_edge(order[i], order[(i + 1) % n])
+    for u in range(n):
+        for v in range(n):
+            if u == v:
+                continue
+            probability = 1.0
+            for bit in range(k):
+                probability *= initiator[(u >> bit) & 1][(v >> bit) & 1]
+            if rng.random() < probability:
+                graph.add_edge(u, v)
     return graph
 
 
@@ -401,6 +712,11 @@ def _register_topologies() -> None:
         ("random-bidirected", random_bidirected_graph),
         ("random-digraph", random_digraph),
         ("random-k-out", random_k_out_digraph),
+        ("barabasi-albert", barabasi_albert_digraph),
+        ("watts-strogatz", watts_strogatz_digraph),
+        ("watts-strogatz-bidirected", watts_strogatz_bidirected),
+        ("configuration-model", configuration_model_digraph),
+        ("stochastic-kronecker", stochastic_kronecker_digraph),
         ("two-cliques", two_cliques_bridged),
         ("clique-with-feeders", clique_with_feeders),
         ("layered-relay", layered_relay_digraph),

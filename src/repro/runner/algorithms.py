@@ -204,7 +204,7 @@ def _run_async_cell(spec: GridSpec, cell: SweepCell, graph: DiGraph) -> CellResu
             plan,
             delay_model=delay_model,
             seed=cell.derived_seed,
-            topology=cached_topology_knowledge(cell.topology, cell.f, spec.path_policy),
+            topology=cached_topology_knowledge(cell.resolved_topology, cell.f, spec.path_policy),
             behavior_name=cell.behavior,
             faults=schedule,
         )
@@ -229,7 +229,7 @@ def _run_async_cell(spec: GridSpec, cell: SweepCell, graph: DiGraph) -> CellResu
             plan,
             delay_model=delay_model,
             seed=cell.derived_seed,
-            topology=cached_topology_knowledge(cell.topology, cell.f, "simple"),
+            topology=cached_topology_knowledge(cell.resolved_topology, cell.f, "simple"),
             behavior_name=cell.behavior,
             faults=schedule,
         )
@@ -237,7 +237,7 @@ def _run_async_cell(spec: GridSpec, cell: SweepCell, graph: DiGraph) -> CellResu
 
 
 def _warm_bw(spec: GridSpec, cell: SweepCell) -> None:
-    knowledge = cached_topology_knowledge(cell.topology, cell.f, spec.path_policy)
+    knowledge = cached_topology_knowledge(cell.resolved_topology, cell.f, spec.path_policy)
     # The eager fullness machinery (required paths + reverse index) is a
     # BW-only structure, built here so fork children inherit it.
     for node in knowledge.nodes:
@@ -247,7 +247,7 @@ def _warm_bw(spec: GridSpec, cell: SweepCell) -> None:
 def _warm_crash(spec: GridSpec, cell: SweepCell) -> None:
     # The crash baseline reads just fault_candidates and the lazily-warmed
     # reach cache; building the knowledge is all the warm-up there is.
-    cached_topology_knowledge(cell.topology, cell.f, "simple")
+    cached_topology_knowledge(cell.resolved_topology, cell.f, "simple")
 
 
 # ----------------------------------------------------------------------

@@ -1,6 +1,6 @@
 """``python -m repro.runner`` — the sweep orchestration command line.
 
-Nine subcommands drive the whole experiment surface:
+Ten subcommands drive the whole experiment surface:
 
 ``list``
     Show every registered scenario with its grid sizes, paper artefact and
@@ -20,6 +20,14 @@ Nine subcommands drive the whole experiment surface:
     progress line from the event stream.  ``--quick`` selects the CI-sized
     grid; ``--plugins MODULE`` imports a module first so it can register
     custom extensions (topologies, behaviours, stop policies, ...).
+``phase``
+    The phase-transition explorer (:mod:`repro.phase`): ``phase run``
+    sweeps one random-family knob and writes the sweep artifact plus its
+    PhaseCurve; ``phase refine`` adds the adaptive loop — store-pooled
+    variance steers knob-axis bisection and seed boosting into the
+    transition band under a fixed budget; ``phase show`` renders a curve
+    (or derives one from a phase-shaped sweep artifact).  Document layout:
+    ``docs/phase-curves.md``.
 ``compare``
     Diff a freshly generated artifact against a stored baseline and exit
     nonzero on drift — the regression gate CI builds on.
@@ -71,6 +79,10 @@ Examples
     python -m repro.runner run --scenario figure1b --fabric 3 --progress
     python -m repro.runner fabric worker --run-dir /nfs/sweeps/figure1b.full
     python -m repro.runner fabric status --run-dir /nfs/sweeps/figure1b.full
+    python -m repro.runner phase run --scenario phase_density --quick --workers 4
+    python -m repro.runner phase refine --scenario phase_density --quick \\
+        --budget 96 --resolution 0.05
+    python -m repro.runner phase show benchmarks/results/phase_density.quick.curve.json
     python -m repro.runner compare benchmarks/baselines/figure1b.quick.json \\
         benchmarks/results/figure1b.quick.json
     python -m repro.runner profile --scenario definition1 --quick --top 15
@@ -98,7 +110,7 @@ import time
 from collections import Counter
 from typing import List, Optional, Sequence, Tuple
 
-from repro.exceptions import ReproError
+from repro.exceptions import PhaseError, ReproError
 from repro.graphs.bitset_backends import backend_policy
 from repro.registry import ALL_REGISTRIES
 from repro.runner.artifacts import compare_files
@@ -280,6 +292,144 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="artificial per-cell delay in fabric workers (straggler/crash-window "
         "simulation for fault-injection tests; default: 0)",
+    )
+
+    phase_parser = commands.add_parser(
+        "phase",
+        help="phase-transition explorer: sweep a family knob, refine the "
+        "transition band, render curves (docs/phase-curves.md)",
+    )
+    phase_commands = phase_parser.add_subparsers(dest="phase_command", required=True)
+    phase_run = phase_commands.add_parser(
+        "run", help="run one phase scenario; write its sweep artifact and PhaseCurve"
+    )
+    phase_refine = phase_commands.add_parser(
+        "refine",
+        help="run + adaptively refine: bisect the knob axis and concentrate "
+        "seeds in the transition band under a fixed extra-cell budget",
+    )
+    for sub in (phase_run, phase_refine):
+        sub.add_argument(
+            "--scenario",
+            default=None,
+            metavar="NAME",
+            help="registered phase scenario to explore (see 'list')",
+        )
+        sub.add_argument(
+            "--scenario-file",
+            type=pathlib.Path,
+            default=None,
+            metavar="PATH",
+            help="declarative scenario TOML file to explore instead",
+        )
+        sub.add_argument(
+            "--plugins",
+            action="append",
+            default=None,
+            metavar="MODULE",
+            help="import MODULE first so it can register custom topologies "
+            "(repeatable)",
+        )
+        sub.add_argument(
+            "--quick", action="store_true", help="explore the reduced CI grid"
+        )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes per sweep (default: 1, serial)",
+        )
+        sub.add_argument(
+            "--output",
+            type=pathlib.Path,
+            default=None,
+            metavar="PATH",
+            help="PhaseCurve path (*.json) or directory "
+            "(default: benchmarks/results/<name>.<mode>.curve.json)",
+        )
+        sub.add_argument(
+            "--progress",
+            action="store_true",
+            help="render a live one-line progress view per sweep",
+        )
+        sub.add_argument(
+            "--no-curve", action="store_true", help="suppress the curve rendering on stdout"
+        )
+    phase_run.add_argument(
+        "--journal",
+        action="store_true",
+        help="journal the sweep (resumable via 'run --resume <run dir>'; derive "
+        "the curve from the finished artifact with 'phase show')",
+    )
+    phase_run.add_argument(
+        "--run-dir",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="run directory for --journal (default: benchmarks/results/runs/"
+        "<name>.<mode>)",
+    )
+    phase_refine.add_argument(
+        "--budget",
+        type=int,
+        required=True,
+        metavar="CELLS",
+        help="cap on cells spent beyond the base sweep",
+    )
+    phase_refine.add_argument(
+        "--resolution",
+        type=float,
+        required=True,
+        metavar="STEP",
+        help="target knob-axis resolution inside the transition band",
+    )
+    phase_refine.add_argument(
+        "--variance-floor",
+        type=float,
+        default=None,
+        metavar="VAR",
+        help="Bernoulli variance p(1-p) marking the transition band "
+        "(default: 0.09, i.e. 0.1 < p < 0.9)",
+    )
+    phase_refine.add_argument(
+        "--seed-boost",
+        type=int,
+        default=None,
+        metavar="K",
+        help="target per-point seed depth in the band, as a multiple of the "
+        "base seed count (default: 4)",
+    )
+    phase_refine.add_argument(
+        "--max-rounds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="refinement round cap (default: 8)",
+    )
+    phase_refine.add_argument(
+        "--run-root",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="journal the base sweep to <DIR>/base and round r to <DIR>/round-r "
+        "(each resumable; default: in-memory)",
+    )
+    phase_refine.add_argument(
+        "--store",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="pool variance through this results store and ingest the refined "
+        "curve into it (default: a private throwaway store)",
+    )
+    phase_show = phase_commands.add_parser(
+        "show", help="render a PhaseCurve (or derive one from a sweep artifact)"
+    )
+    phase_show.add_argument(
+        "path",
+        type=pathlib.Path,
+        help="a PhaseCurve document or a phase-shaped sweep artifact",
     )
 
     fabric_parser = commands.add_parser(
@@ -844,6 +994,160 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _phase_scenario(args: argparse.Namespace) -> Scenario:
+    if (args.scenario is None) == (args.scenario_file is None):
+        raise ReproError(
+            "pass exactly one of --scenario NAME or --scenario-file PATH"
+        )
+    if args.scenario is not None:
+        return get_scenario(args.scenario)
+    return load_scenario_file(args.scenario_file)
+
+
+def _curve_path(output: Optional[pathlib.Path], name: str, mode: str) -> pathlib.Path:
+    filename = f"{name}.{mode}.curve.json"
+    if output is None:
+        return DEFAULT_OUTPUT_DIR / filename
+    if output.suffix == ".json":
+        return output
+    return output / filename
+
+
+def _phase_observer(args: argparse.Namespace, progress: SessionProgress):
+    def observe(event) -> None:
+        progress.observe(event)
+        if args.progress and isinstance(event, (RunStarted, CellCompleted, RunFinished)):
+            print(f"\r{progress.render_line()}", end="", flush=True)
+        if args.progress and isinstance(event, RunFinished):
+            print()
+
+    return observe
+
+
+def _cmd_phase(args: argparse.Namespace) -> int:
+    from repro.phase import (
+        curve_from_artifact,
+        load_phase_curve,
+        refine_phase,
+        render_curve,
+        run_phase,
+        write_phase_curve,
+    )
+    from repro.runner.artifacts import load_artifact, write_payload
+
+    if args.phase_command == "show":
+        try:
+            payload = load_phase_curve(args.path)
+        except PhaseError:
+            payload = curve_from_artifact(load_artifact(args.path))
+        print(render_curve(payload))
+        return EXIT_OK
+
+    for module in args.plugins or ():
+        try:
+            importlib.import_module(module)
+        except ImportError as error:
+            raise ReproError(f"cannot import plugin module {module!r}: {error}") from None
+    scenario = _phase_scenario(args)
+    mode = "quick" if args.quick else "full"
+    curve_path = _curve_path(args.output, scenario.name, mode)
+    progress = SessionProgress()
+    observer = _phase_observer(args, progress)
+
+    if args.phase_command == "run":
+        run_dir = None
+        if args.journal or args.run_dir is not None:
+            run_dir = _run_dir_for(args, 1, scenario.name, mode)
+        sweep_path = curve_path.parent / f"{scenario.name}.{mode}.json"
+        try:
+            run = run_phase(
+                scenario,
+                quick=args.quick,
+                workers=args.workers,
+                run_dir=run_dir,
+                observer=observer,
+            )
+        except KeyboardInterrupt:
+            if args.progress:
+                print()
+            if run_dir is not None:
+                print(
+                    f"interrupted after {progress.completed} cell(s); resume the sweep "
+                    f"with: python -m repro.runner run --resume {run_dir}\n"
+                    f"then derive the curve with: python -m repro.runner phase show "
+                    f"{sweep_path}"
+                )
+                return EXIT_INTERRUPTED
+            raise
+        write_payload(sweep_path, run.sweep)
+        write_phase_curve(curve_path, run.curve)
+        if not args.no_curve:
+            print(render_curve(run.curve))
+        print(
+            f"{scenario.name}: {run.curve['budget']['spent_cells']} cells -> "
+            f"{sweep_path} + {curve_path}"
+        )
+        return EXIT_OK
+
+    assert args.phase_command == "refine"
+    store = None
+    if args.store is not None:
+        from repro.store.store import ResultsStore
+
+        store = ResultsStore(args.store)
+    kwargs = {}
+    if args.variance_floor is not None:
+        kwargs["variance_floor"] = args.variance_floor
+    if args.seed_boost is not None:
+        kwargs["seed_boost"] = args.seed_boost
+    if args.max_rounds is not None:
+        kwargs["max_rounds"] = args.max_rounds
+    try:
+        refinement = refine_phase(
+            scenario,
+            quick=args.quick,
+            budget_cells=args.budget,
+            resolution=args.resolution,
+            workers=args.workers,
+            run_root=args.run_root,
+            store=store,
+            observer=observer,
+            **kwargs,
+        )
+        if store is not None:
+            store.ingest_phase_payload(refinement.curve, source_path=curve_path)
+    except KeyboardInterrupt:
+        if args.progress:
+            print()
+        if args.run_root is not None:
+            print(
+                f"interrupted after {progress.completed} cell(s) of the current "
+                f"sweep; its journal under {args.run_root} resumes with "
+                "'python -m repro.runner run --resume <run dir>', then re-run "
+                "'phase refine' with the same --store to pool the finished work"
+            )
+            return EXIT_INTERRUPTED
+        raise
+    finally:
+        if store is not None:
+            store.close()
+    write_phase_curve(curve_path, refinement.curve)
+    if not args.no_curve:
+        print(render_curve(refinement.curve))
+    budget = refinement.curve["budget"]
+    rounds = refinement.curve["refinement"]["rounds"]
+    concentration = budget["concentration_ratio"]
+    concentration_note = (
+        f", band concentration {concentration:.2f}x" if concentration is not None else ""
+    )
+    print(
+        f"{scenario.name}: {budget['spent_cells']} cells across {rounds} refinement "
+        f"round(s) (uniform-at-resolution: {budget['uniform_cells']}"
+        f"{concentration_note}) -> {curve_path}"
+    )
+    return EXIT_OK
+
+
 def _cmd_fabric(args: argparse.Namespace) -> int:
     if args.fabric_command == "worker":
         for module in args.plugins or ():
@@ -1170,6 +1474,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "profile":
             return _cmd_profile(args)
+        if args.command == "phase":
+            return _cmd_phase(args)
         if args.command == "fabric":
             return _cmd_fabric(args)
         if args.command == "store":

@@ -54,6 +54,14 @@ NodeId = Hashable
 #: behaviour/placement axes of condition-check cells — no adversary involved).
 NOT_APPLICABLE = "-"
 
+#: Sentinel value for a topology's ``seed`` parameter meaning "use the cell's
+#: derived seed".  A grid whose random-family topologies carry
+#: ``seed = "cell"`` samples a *fresh* graph per seed cell — the per-cell
+#: SHA-256 seed fully determines the sample, so serial, sharded and fabric
+#: runs stay byte-identical — while the topology *label* keeps the sentinel,
+#: so every sample of one recipe aggregates into a single group.
+CELL_SEED = "cell"
+
 #: Result of running one cell; implemented by ``repro.runner.scenarios.run_cell``.
 CellRunner = Callable[["GridSpec", "SweepCell"], "CellResult"]
 
@@ -136,11 +144,55 @@ class TopologySpec:
         inner = ",".join(f"{key}={value}" for key, value in self.params)
         return f"{self.family}({inner})"
 
+    @property
+    def is_cell_seeded(self) -> bool:
+        """Whether the spec's ``seed`` parameter is the :data:`CELL_SEED`
+        sentinel (resolved per cell from the derived seed)."""
+        return any(key == "seed" and value == CELL_SEED for key, value in self.params)
+
+    def resolve_cell_seed(self, derived_seed: int) -> "TopologySpec":
+        """The concrete spec for one cell: the :data:`CELL_SEED` sentinel
+        replaced by ``derived_seed``.  Identity for non-sentinel specs."""
+        if not self.is_cell_seeded:
+            return self
+        params = {key: value for key, value in self.params}
+        params["seed"] = derived_seed
+        return TopologySpec.make(self.family, **params)
+
+    def validate_params(self) -> None:
+        """Check the params bind to the family's factory signature.
+
+        Called from :meth:`GridSpec.validate_plugins` — i.e. before any
+        worker pool forks — so an unknown or missing topology parameter
+        raises one :class:`~repro.exceptions.GraphError` naming the family
+        instead of a bare ``TypeError`` deep in a worker.
+        """
+        import inspect
+
+        from repro.exceptions import GraphError
+        from repro.registry import TOPOLOGIES
+
+        factory = TOPOLOGIES.get(self.family)
+        params = {key: value for key, value in self.params}
+        if params.get("seed") == CELL_SEED:
+            params["seed"] = 0
+        try:
+            inspect.signature(factory).bind(**params)
+        except TypeError as error:
+            raise GraphError(f"topology {self.family!r}: {error}") from None
+
     def build(self) -> DiGraph:
         """Construct the graph this spec describes, through the
         :data:`~repro.registry.TOPOLOGIES` registry."""
+        from repro.exceptions import GraphError
         from repro.registry import TOPOLOGIES
 
+        if self.is_cell_seeded:
+            raise GraphError(
+                f"topology {self.family!r} carries the per-cell seed sentinel "
+                f"{CELL_SEED!r}; resolve it with resolve_cell_seed(derived_seed) "
+                "before building"
+            )
         factory = TOPOLOGIES.get(self.family)
         return factory(**{key: value for key, value in self.params})
 
@@ -220,6 +272,7 @@ class GridSpec:
             ALGORITHMS.get(algorithm)
         for topology in self.topologies:
             TOPOLOGIES.get(topology.family)
+            topology.validate_params()
         for behavior in self.behaviors:
             if behavior != NOT_APPLICABLE:
                 validate_plugin_args(BEHAVIORS, behavior)
@@ -414,6 +467,14 @@ class SweepCell:
             f"{self.algorithm}|{self.topology.label}|f={self.f}"
             f"|{self.behavior}|{self.placement}{fault_part}|s={self.seed}"
         )
+
+    @property
+    def resolved_topology(self) -> TopologySpec:
+        """The buildable topology spec for this cell: the :data:`CELL_SEED`
+        sentinel (if any) resolved to the cell's derived seed.  Workers build
+        and cache graphs under this spec; results keep reporting the
+        sentinel-form :attr:`topology` label so seed cells group together."""
+        return self.topology.resolve_cell_seed(self.derived_seed)
 
 
 # ----------------------------------------------------------------------
@@ -894,6 +955,7 @@ def sweep_behaviors(
 
 
 __all__ = [
+    "CELL_SEED",
     "NOT_APPLICABLE",
     "CellObserver",
     "CellResult",

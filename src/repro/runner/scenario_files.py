@@ -76,6 +76,8 @@ BUILTIN_SCENARIO_ORDER = (
     "scaling",
     "churn",
     "congestion",
+    "phase_density",
+    "phase_smallworld",
 )
 
 SCENARIO_SCHEMA_VERSION = 1

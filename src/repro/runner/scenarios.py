@@ -56,8 +56,13 @@ CHECK_ALGORITHMS = tuple(
 # cell execution
 # ----------------------------------------------------------------------
 def run_cell(spec: GridSpec, cell: SweepCell) -> CellResult:
-    """Execute one sweep cell; the engine's default (picklable) cell runner."""
-    graph = cached_graph(cell.topology)
+    """Execute one sweep cell; the engine's default (picklable) cell runner.
+
+    The graph is built (and worker-cached) from the cell's *resolved*
+    topology, so a ``seed = "cell"`` random family samples a fresh graph per
+    seed cell, deterministically from the cell's derived seed.
+    """
+    graph = cached_graph(cell.resolved_topology)
     return ALGORITHMS.get(cell.algorithm).run(spec, cell, graph)
 
 

@@ -89,16 +89,25 @@ def warm_worker_caches(spec: GridSpec, cells: List[SweepCell]) -> None:
     """
     from repro.registry import ALGORITHMS
 
-    seen = set()
+    # Cell-seeded topologies (``seed = "cell"``) sample a distinct graph per
+    # cell; warming every sample in the parent would serialize the whole
+    # sweep's graph construction, so only the first cell of each recipe is
+    # warmed — enough to surface parameter errors before the fork and to
+    # share one sample copy-on-write.  Deduplication keys use the
+    # *unresolved* spec for exactly that reason.
+    seen_graphs = set()
+    seen_warms = set()
     for cell in cells:
-        cached_graph(cell.topology)
+        if cell.topology not in seen_graphs:
+            seen_graphs.add(cell.topology)
+            cached_graph(cell.resolved_topology)
         warm = ALGORITHMS.get(cell.algorithm).warm
         if warm is None:
             continue
         key = (cell.algorithm, cell.topology, cell.f)
-        if key in seen:
+        if key in seen_warms:
             continue
-        seen.add(key)
+        seen_warms.add(key)
         warm(spec, cell)
 
 

@@ -20,6 +20,11 @@ Version history
     ``snapshots`` — point-in-time fabric/status observations of live run
     directories (``fabric status --store`` appends here; the serving layer
     reads them back out).
+3
+    ``phase_curves`` + ``phase_points`` — ingested PhaseCurve artifacts
+    (``kind: repro-phase-curve``, :mod:`repro.phase`), one row per curve
+    (unique on ``scenario × mode × family × knob × git commit``) plus its
+    denormalized per-point measurements.
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ import sqlite3
 from repro.exceptions import StoreError
 
 #: Schema version a freshly migrated store reports (``PRAGMA user_version``).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _DDL_V1 = """
 CREATE TABLE runs (
@@ -129,12 +134,52 @@ CREATE TABLE snapshots (
 CREATE INDEX idx_snapshots_scenario ON snapshots(scenario, recorded_at);
 """
 
+_DDL_V3 = """
+CREATE TABLE phase_curves (
+    id            INTEGER PRIMARY KEY,
+    scenario      TEXT NOT NULL,
+    mode          TEXT NOT NULL CHECK (mode IN ('quick', 'full')),
+    family        TEXT NOT NULL,
+    knob          TEXT NOT NULL,
+    git_commit    TEXT NOT NULL DEFAULT '',
+    git_dirty     INTEGER,
+    source_path   TEXT,
+    digest        TEXT NOT NULL,
+    ingested_at   REAL NOT NULL,
+    points        INTEGER NOT NULL,
+    base_cells    INTEGER NOT NULL,
+    spent_cells   INTEGER NOT NULL,
+    uniform_cells INTEGER,
+    concentration_ratio REAL,
+    refined       INTEGER NOT NULL DEFAULT 0,
+    environment   TEXT,
+    payload       TEXT NOT NULL,
+    UNIQUE (scenario, mode, family, knob, git_commit)
+);
+
+CREATE TABLE phase_points (
+    curve_id         INTEGER NOT NULL REFERENCES phase_curves(id) ON DELETE CASCADE,
+    n                INTEGER NOT NULL,
+    f                INTEGER NOT NULL,
+    knob             REAL NOT NULL,
+    seeds            INTEGER NOT NULL,
+    condition_rate   REAL,
+    success_rate     REAL,
+    mean_rounds      REAL,
+    success_variance REAL NOT NULL,
+    PRIMARY KEY (curve_id, n, f, knob)
+);
+
+CREATE INDEX idx_phase_curves_scenario ON phase_curves(scenario, mode, ingested_at);
+"""
+
 #: Ordered migration ladder: ``version -> DDL applied to reach it``.  Append
 #: only — never edit a shipped entry; an existing database replays exactly
 #: the steps past its recorded version.
 MIGRATIONS = {
     1: _DDL_V1,
     2: _DDL_V2,
+    3: _DDL_V3,
 }
 
 

@@ -17,7 +17,10 @@ kinds the repo produces and is *idempotent*:
   :meth:`~repro.runner.journal.Journal.fold` into exactly the artifact
   payload the run would write, so a journal and its derived artifact
   land as one store row),
-* ``BENCH_*.json`` perf records (flattened to dotted numeric metrics).
+* ``BENCH_*.json`` perf records (flattened to dotted numeric metrics),
+* PhaseCurve artifacts (``kind: repro-phase-curve``, :mod:`repro.phase`),
+  keyed by **scenario × mode × family × knob × git commit** with their
+  per-point measurements denormalized into ``phase_points``.
 
 Runs are keyed by **spec_hash × scenario × git commit × mode**.  Ingesting
 a byte-identical payload again is a no-op (``unchanged``); re-ingesting the
@@ -45,7 +48,6 @@ from repro.exceptions import ArtifactError, JournalError, StoreError
 from repro.runner.artifacts import (
     dumps_canonical,
     git_metadata,
-    load_artifact,
     validate_artifact,
 )
 from repro.runner.journal import (
@@ -79,7 +81,7 @@ class IngestReport:
     """Outcome of ingesting one source file/directory."""
 
     path: str
-    kind: str  # "artifact" | "journal" | "bench" | "unknown"
+    kind: str  # "artifact" | "journal" | "bench" | "phase" | "unknown"
     action: str  # "inserted" | "unchanged" | "replaced" | "skipped"
     row_id: Optional[int] = None
     detail: Optional[str] = None
@@ -278,20 +280,42 @@ class ResultsStore:
         return reports
 
     def _ingest_file(self, path: pathlib.Path, strict: bool) -> IngestReport:
+        from repro.phase.curve import PHASE_CURVE_KIND
+
         if path.suffix == ".jsonl" or path.name == JOURNAL_FILENAME:
             return self._ingest_journal_path(path)
         if path.name.startswith("BENCH_") and path.suffix == ".json":
             return self._ingest_bench_file(path)
         try:
-            payload = load_artifact(path)
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            if strict:
+                raise StoreError(f"cannot ingest {path}: {error}") from None
+            return IngestReport(str(path), "unknown", "skipped", detail=str(error))
+        if isinstance(raw, Mapping) and raw.get("kind") == PHASE_CURVE_KIND:
+            return self._ingest_phase_file(path, raw, strict)
+        try:
+            validate_artifact(raw)
         except ArtifactError as error:
             if strict:
                 raise StoreError(
-                    f"cannot ingest {path}: not a journal, sweep artifact or "
-                    f"BENCH_*.json file ({error})"
+                    f"cannot ingest {path}: not a journal, sweep artifact, "
+                    f"phase curve or BENCH_*.json file ({error})"
                 ) from None
             return IngestReport(str(path), "unknown", "skipped", detail=str(error))
-        return self.ingest_run_payload(payload, source_kind="artifact", source_path=path)
+        return self.ingest_run_payload(raw, source_kind="artifact", source_path=path)
+
+    def _ingest_phase_file(
+        self, path: pathlib.Path, payload: Mapping[str, object], strict: bool
+    ) -> IngestReport:
+        from repro.exceptions import PhaseError
+
+        try:
+            return self.ingest_phase_payload(payload, source_path=path)
+        except PhaseError as error:
+            if strict:
+                raise StoreError(f"cannot ingest {path}: {error}") from None
+            return IngestReport(str(path), "phase", "skipped", detail=str(error))
 
     def _ingest_journal_path(self, path: pathlib.Path) -> IngestReport:
         try:
@@ -490,6 +514,91 @@ class ResultsStore:
                 [(bench_id, metric, value) for metric, value in sorted(metrics.items())],
             )
         return IngestReport(source or name, "bench", "inserted", bench_id)
+
+    def ingest_phase_payload(
+        self,
+        payload: Mapping[str, object],
+        source_path: Optional[PathLike] = None,
+    ) -> IngestReport:
+        """Ingest one validated PhaseCurve document (:mod:`repro.phase`).
+
+        Key: ``(scenario, mode, family, knob, git_commit)`` — one curve per
+        swept knob per checkout.  Same key + same digest → ``unchanged``;
+        same key + different bytes (a refined curve superseding the plain
+        one) → ``replaced``, with the points cascading.
+        """
+        from repro.phase.curve import validate_phase_curve
+
+        validate_phase_curve(payload)
+        digest = _digest(payload)
+        git = payload.get("git") or {}
+        git_commit = str(git.get("commit", "") or "")
+        git_dirty = git.get("dirty")
+        scenario = str(payload["scenario"])
+        mode = str(payload["mode"])
+        family = str(payload["family"])
+        knob = str(payload["knob"])
+        budget = payload["budget"]
+        source = str(source_path) if source_path is not None else None
+
+        conn = self.connection
+        existing = conn.execute(
+            "SELECT id, digest FROM phase_curves WHERE scenario = ? AND mode = ? "
+            "AND family = ? AND knob = ? AND git_commit = ?",
+            (scenario, mode, family, knob, git_commit),
+        ).fetchone()
+        if existing is not None and existing["digest"] == digest:
+            return IngestReport(source or scenario, "phase", "unchanged", existing["id"])
+        with conn:
+            if existing is not None:
+                conn.execute("DELETE FROM phase_curves WHERE id = ?", (existing["id"],))
+            cursor = conn.execute(
+                "INSERT INTO phase_curves (scenario, mode, family, knob, git_commit, "
+                "git_dirty, source_path, digest, ingested_at, points, base_cells, "
+                "spent_cells, uniform_cells, concentration_ratio, refined, "
+                "environment, payload) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    scenario,
+                    mode,
+                    family,
+                    knob,
+                    git_commit,
+                    None if git_dirty is None else int(bool(git_dirty)),
+                    source,
+                    digest,
+                    time.time(),
+                    len(payload["points"]),
+                    int(budget["base_cells"]),
+                    int(budget["spent_cells"]),
+                    budget["uniform_cells"],
+                    budget["concentration_ratio"],
+                    int(payload["refinement"] is not None),
+                    json.dumps(payload.get("environment"), sort_keys=True),
+                    json.dumps(payload, sort_keys=True),
+                ),
+            )
+            curve_id = cursor.lastrowid
+            conn.executemany(
+                "INSERT INTO phase_points (curve_id, n, f, knob, seeds, "
+                "condition_rate, success_rate, mean_rounds, success_variance) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        curve_id,
+                        int(point["n"]),
+                        int(point["f"]),
+                        float(point["knob"]),
+                        int(point["seeds"]),
+                        point["condition_rate"],
+                        point["success_rate"],
+                        point["mean_rounds"],
+                        float(point["success_variance"]),
+                    )
+                    for point in payload["points"]
+                ],
+            )
+        action = "replaced" if existing is not None else "inserted"
+        return IngestReport(source or scenario, "phase", action, curve_id)
 
     def bootstrap(self, root: PathLike = ".") -> List[IngestReport]:
         """Ingest the repo's committed corpus: every ``benchmarks/baselines``
@@ -732,6 +841,36 @@ class ResultsStore:
                 )
             )
         return results
+
+    def phase_curves(self, scenario: Optional[str] = None) -> List[Dict[str, object]]:
+        """Ingested phase curves (newest first), optionally per scenario."""
+        query = (
+            "SELECT id, scenario, mode, family, knob, git_commit, points, "
+            "base_cells, spent_cells, uniform_cells, concentration_ratio, "
+            "refined, ingested_at FROM phase_curves"
+        )
+        params: List[object] = []
+        if scenario is not None:
+            query += " WHERE scenario = ?"
+            params.append(scenario)
+        query += " ORDER BY ingested_at DESC, id DESC"
+        return [dict(row) for row in self.connection.execute(query, params)]
+
+    def phase_points(self, curve_id: int) -> List[Dict[str, object]]:
+        """The per-point measurements of one ingested curve, in curve order."""
+        rows = self.connection.execute(
+            "SELECT n, f, knob, seeds, condition_rate, success_rate, "
+            "mean_rounds, success_variance FROM phase_points "
+            "WHERE curve_id = ? ORDER BY n, f, knob",
+            (curve_id,),
+        ).fetchall()
+        if not rows:
+            exists = self.connection.execute(
+                "SELECT 1 FROM phase_curves WHERE id = ?", (curve_id,)
+            ).fetchone()
+            if exists is None:
+                raise StoreError(f"no ingested phase curve with id {curve_id}")
+        return [dict(row) for row in rows]
 
     def bench_names(self) -> List[Dict[str, object]]:
         """Ingested bench families with record counts."""

@@ -28,7 +28,16 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BASELINES = REPO_ROOT / "benchmarks" / "baselines"
 BENCH_DIR = REPO_ROOT / "benchmarks" / "results"
 
-EXPECTED_TABLES = ["bench_metrics", "benches", "run_cells", "run_groups", "runs", "snapshots"]
+EXPECTED_TABLES = [
+    "bench_metrics",
+    "benches",
+    "phase_curves",
+    "phase_points",
+    "run_cells",
+    "run_groups",
+    "runs",
+    "snapshots",
+]
 
 
 @pytest.fixture
@@ -196,7 +205,7 @@ class TestBootstrap:
     def test_bootstrap_ingests_corpus_and_is_idempotent(self, store):
         baselines = sorted(BASELINES.glob("*.json"))
         benches = sorted(BENCH_DIR.glob("BENCH_*.json"))
-        assert len(baselines) == 24  # the committed corpus this repo gates on
+        assert len(baselines) == 32  # the committed corpus this repo gates on
         reports = store.bootstrap(REPO_ROOT)
         assert len(reports) == len(baselines) + len(benches)
         assert all(report.action == "inserted" for report in reports)
@@ -212,7 +221,7 @@ class TestBootstrap:
                 store.connection.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
                 == count
             )
-        assert len(store.scenarios()) == 12  # every scenario, quick + full
+        assert len(store.scenarios()) == 14  # every scenario, quick + full
 
 
 # ----------------------------------------------------------------------
